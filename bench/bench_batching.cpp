@@ -1,0 +1,97 @@
+// Ablation for Appendix F: batch size vs throughput and latency. Sweeps the
+// writer's max batch bound and reports update throughput, mean batch size,
+// and mean submit-to-commit latency -- the throughput/latency trade the
+// paper calls out ("a larger batch size leads to higher throughput ... at
+// the cost of longer latency").
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "mvcc/common/rng.h"
+#include "mvcc/common/timing.h"
+#include "mvcc/txn/batching.h"
+#include "mvcc/vm/pswf.h"
+
+namespace {
+
+using namespace mvcc;
+using BMap = txn::BatchingMap<std::uint64_t, std::uint64_t,
+                              ftree::NoAug<std::uint64_t, std::uint64_t>,
+                              vm::PswfVersionManager>;
+
+struct Result {
+  double mops;
+  double avg_batch;
+  double mean_latency_us;
+};
+
+Result run(std::size_t max_batch, int producers, double seconds) {
+  BMap map(producers, {}, /*buffer_capacity=*/1 << 14, max_batch);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> latency_ns{0};
+  std::atomic<std::uint64_t> latency_samples{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      Xoshiro256 rng(static_cast<std::uint64_t>(p) + 17);
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        if (i % 256 == 255) {
+          // Sampled synchronous update: measures commit latency.
+          Timer t;
+          map.upsert_sync(p, rng.next_below(100000), i);
+          latency_ns.fetch_add(t.nanos(), std::memory_order_relaxed);
+          latency_samples.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          map.submit(p, txn::BatchOp::kUpsert, rng.next_below(100000), i);
+        }
+        ++i;
+      }
+    });
+  }
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  map.flush_all();
+  const double secs = timer.seconds();
+
+  Result r;
+  r.mops = static_cast<double>(map.ops_committed()) / secs / 1e6;
+  r.avg_batch = map.batches_committed() == 0
+                    ? 0
+                    : static_cast<double>(map.ops_committed()) /
+                          static_cast<double>(map.batches_committed());
+  r.mean_latency_us =
+      latency_samples.load() == 0
+          ? 0
+          : static_cast<double>(latency_ns.load()) /
+                static_cast<double>(latency_samples.load()) / 1e3;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const int producers = static_cast<int>(env_long("MVCC_THREADS", 2));
+  const double secs = bench::cell_seconds();
+  bench::print_header("Batching ablation (Appendix F): batch bound sweep");
+  bench::print_row({"max_batch", "update Mop/s", "avg batch", "p~latency us"},
+                   16);
+  for (std::size_t mb : {std::size_t{1}, std::size_t{16}, std::size_t{256},
+                         std::size_t{4096}, std::size_t{65536}}) {
+    std::fprintf(stderr, "batching: max_batch=%zu...\n", mb);
+    Result r = run(mb, producers, secs);
+    bench::print_row({std::to_string(mb), bench::fmt(r.mops),
+                      bench::fmt(r.avg_batch, 1),
+                      bench::fmt(r.mean_latency_us, 1)},
+                     16);
+  }
+  std::printf("expected shape: throughput grows with the batch bound while\n"
+              "sampled commit latency grows too (throughput/latency trade).\n");
+  return 0;
+}

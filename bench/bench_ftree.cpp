@@ -1,0 +1,105 @@
+// Microbenchmarks for the functional tree substrate: point ops, range sums,
+// and the parallel bulk operations (union / multi_insert) whose join-based
+// parallelism the batching writer relies on.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "mvcc/common/rng.h"
+#include "mvcc/ftree/fmap.h"
+
+namespace {
+
+using namespace mvcc;
+using SumMap = ftree::FMap<std::uint64_t, std::uint64_t,
+                           ftree::AugSum<std::uint64_t, std::uint64_t>>;
+
+SumMap make_random(std::int64_t n, std::uint64_t seed) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+  entries.reserve(static_cast<std::size_t>(n));
+  Xoshiro256 rng(seed);
+  for (std::int64_t i = 0; i < n; ++i) {
+    entries.emplace_back(rng(), static_cast<std::uint64_t>(i));
+  }
+  return SumMap::from_entries(std::move(entries));
+}
+
+void BM_TreeInsert(benchmark::State& state) {
+  SumMap m = make_random(state.range(0), 1);
+  Xoshiro256 rng(2);
+  for (auto _ : state) {
+    m = m.inserted(rng(), 1);
+  }
+}
+
+void BM_TreeFind(benchmark::State& state) {
+  SumMap m = make_random(state.range(0), 3);
+  auto entries = m.to_vector();
+  Xoshiro256 rng(4);
+  for (auto _ : state) {
+    const auto& probe = entries[rng.next_below(entries.size())];
+    benchmark::DoNotOptimize(m.find(probe.first));
+  }
+}
+
+void BM_TreeRangeSum(benchmark::State& state) {
+  SumMap m = make_random(state.range(0), 5);
+  Xoshiro256 rng(6);
+  for (auto _ : state) {
+    const std::uint64_t lo = rng();
+    benchmark::DoNotOptimize(m.aug_range(lo, lo + (~std::uint64_t{0} >> 8)));
+  }
+}
+
+void BM_TreeUnion(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  SumMap a = make_random(n, 7);
+  SumMap b = make_random(n / 10, 8);  // paper shape: big corpus, small delta
+  for (auto _ : state) {
+    SumMap u = a.union_with(b);
+    benchmark::DoNotOptimize(u.size());
+  }
+  state.SetItemsProcessed(state.iterations() * (n / 10));
+}
+
+void BM_TreeMultiInsert(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  SumMap a = make_random(n, 9);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> batch;
+  Xoshiro256 rng(10);
+  for (std::int64_t i = 0; i < n / 10; ++i) batch.emplace_back(rng(), 1);
+  ftree::prepare_batch(batch);
+  for (auto _ : state) {
+    SumMap u = a.multi_inserted(
+        std::span<const std::pair<std::uint64_t, std::uint64_t>>(batch));
+    benchmark::DoNotOptimize(u.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch.size()));
+}
+
+void BM_TreeMultiInsertVsLoop(benchmark::State& state) {
+  // The ablation behind batching: the same updates applied one-by-one.
+  const std::int64_t n = state.range(0);
+  SumMap a = make_random(n, 11);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> batch;
+  Xoshiro256 rng(12);
+  for (std::int64_t i = 0; i < n / 10; ++i) batch.emplace_back(rng(), 1);
+  for (auto _ : state) {
+    SumMap u = a;
+    for (const auto& [k, v] : batch) u = u.inserted(k, v);
+    benchmark::DoNotOptimize(u.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch.size()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_TreeInsert)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+BENCHMARK(BM_TreeFind)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+BENCHMARK(BM_TreeRangeSum)->Arg(1 << 14)->Arg(1 << 18);
+BENCHMARK(BM_TreeUnion)->Arg(1 << 14)->Arg(1 << 17);
+BENCHMARK(BM_TreeMultiInsert)->Arg(1 << 14)->Arg(1 << 17);
+BENCHMARK(BM_TreeMultiInsertVsLoop)->Arg(1 << 14)->Arg(1 << 17);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Shared helpers for the experiment binaries: table formatting and scale
+// knobs. Every bench prints the same rows/series as the paper's table or
+// figure it regenerates, at a machine-appropriate default scale
+// (MVCC_SCALE, MVCC_SECONDS, MVCC_READERS environment variables scale up).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mvcc/common/env.h"
+
+namespace mvcc::bench {
+
+inline void print_header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void print_row(const std::vector<std::string>& cells, int width = 12) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string fmt_int(long long v) { return std::to_string(v); }
+
+// Benchmark wall-clock budget per measured cell, seconds.
+inline double cell_seconds() { return env_double("MVCC_SECONDS", 0.4); }
+
+// Reader thread count for the Table 2 / Figure 6 harness (paper: 140).
+inline int reader_threads() {
+  return static_cast<int>(env_long("MVCC_READERS", 3));
+}
+
+}  // namespace mvcc::bench
