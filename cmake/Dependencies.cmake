@@ -1,0 +1,35 @@
+# Third-party test/bench dependencies: prefer toolchain-provided packages
+# (the CI and dev images bake them in), fall back to FetchContent so a
+# bare checkout with network access still configures.
+
+include(FetchContent)
+
+if(MVCC_BUILD_TESTS)
+  find_package(GTest QUIET)
+  if(NOT GTest_FOUND)
+    message(STATUS "System GoogleTest not found; fetching v1.14.0")
+    FetchContent_Declare(
+      googletest
+      URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+      URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+    )
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+    FetchContent_MakeAvailable(googletest)
+  endif()
+endif()
+
+if(MVCC_BUILD_BENCHES)
+  find_package(benchmark QUIET)
+  if(NOT benchmark_FOUND)
+    message(STATUS "System google-benchmark not found; fetching v1.8.3")
+    FetchContent_Declare(
+      googlebenchmark
+      URL https://github.com/google/benchmark/archive/refs/tags/v1.8.3.tar.gz
+      URL_HASH SHA256=6bc180a57d23d4d9515519f92b0c83d61b05b5bab188961f36ac7b06b0d9e9ce
+    )
+    set(BENCHMARK_ENABLE_TESTING OFF CACHE BOOL "" FORCE)
+    set(BENCHMARK_ENABLE_INSTALL OFF CACHE BOOL "" FORCE)
+    FetchContent_MakeAvailable(googlebenchmark)
+  endif()
+endif()

@@ -1,0 +1,52 @@
+// Environment-variable knobs shared by every experiment binary.
+//
+// The paper's harnesses are parameterised by machine scale; rather than a
+// flag library we use a tiny set of env knobs so the same binary runs on a
+// laptop (defaults) and on the paper's 72-core machine (MVCC_* overrides):
+//
+//   MVCC_SCALE    multiplier applied to structure sizes        (default 1.0)
+//   MVCC_SECONDS  wall-clock budget per measured cell, seconds (default 0.4)
+//   MVCC_READERS  reader-thread count for the Table 2 harness  (default 3)
+//   MVCC_THREADS  worker-thread count for batch/bulk ops       (default hw)
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace mvcc {
+
+// Reads a long from the environment; returns `def` when unset or malformed.
+inline long env_long(const char* name, long def) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return def;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  return (end == nullptr || *end != '\0') ? def : v;
+}
+
+// Reads a double from the environment; returns `def` when unset or malformed.
+inline double env_double(const char* name, double def) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return def;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  return (end == nullptr || *end != '\0') ? def : v;
+}
+
+// Scales a base structure size by MVCC_SCALE. Never returns less than 1 for
+// a positive base, so `env_scale(n)` is always a usable element count.
+inline long env_scale(long base) {
+  const double scaled = static_cast<double>(base) * env_double("MVCC_SCALE", 1.0);
+  const long v = static_cast<long>(scaled);
+  return (base > 0 && v < 1) ? 1 : v;
+}
+
+// Worker-thread count for bulk operations (MVCC_THREADS overrides hardware).
+inline int env_threads() {
+  const long hw = static_cast<long>(std::thread::hardware_concurrency());
+  const long v = env_long("MVCC_THREADS", hw > 0 ? hw : 1);
+  return static_cast<int>(v > 0 ? v : 1);
+}
+
+}  // namespace mvcc

@@ -1,0 +1,63 @@
+// Deterministic fast PRNG for workload generation.
+//
+// xoshiro256** (Blackman & Vigna) seeded through splitmix64 so that any
+// 64-bit seed — including 0 — yields a well-mixed state. All experiment
+// binaries take explicit seeds so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace mvcc {
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // splitmix64 stream: guarantees a nonzero, decorrelated state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform draw from [0, bound) via Lemire's multiply-shift; bound must be
+  // nonzero. Slightly biased for bounds near 2^64, which no workload uses.
+  std::uint64_t next_below(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(operator()()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~std::uint64_t{0}; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace mvcc

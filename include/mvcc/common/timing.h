@@ -1,0 +1,25 @@
+// Wall-clock timing for the experiment harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace mvcc {
+
+// Steady-clock stopwatch: starts at construction, `seconds()` reads the
+// elapsed time without stopping, `reset()` restarts it.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mvcc

@@ -1,0 +1,382 @@
+// Raw node layer of the functional (path-copying) balanced tree.
+//
+// This is the substrate the paper's multiversioning rests on: every update
+// produces a new version that shares all untouched subtrees with its
+// predecessors, and intrusive reference counts make garbage collection
+// precise — `collect` frees exactly the nodes reachable from no surviving
+// version, in time proportional to the number freed (the tree analogue of
+// Theorem 4.2).
+//
+// Balancing is a height-balanced (AVL) join tree: `insert`, `join`, `split`
+// and `union_` all preserve the AVL invariant, so `join`-based bulk
+// operations (union / multi_insert) compose with point updates.
+//
+// Ownership protocol: a Node* is an owned reference. Every function taking
+// Node* by value CONSUMES that reference (the functional analogue of move
+// semantics); call `share` first to keep using a tree afterwards. Functions
+// taking const Node* only read. Reference counts are atomic so later PRs
+// can snapshot versions across threads; structural updates themselves are
+// single-mutator.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace mvcc::ftree {
+
+// Global live-node counter, shared by all instantiations; tests use it to
+// prove refcount exactness (it returns to zero once every version dies).
+inline std::atomic<long long> g_live_nodes{0};
+
+inline long long live_nodes() {
+  return g_live_nodes.load(std::memory_order_relaxed);
+}
+
+// Augmentation that carries nothing; the default for plain maps.
+template <class K, class V>
+struct NoAug {
+  struct T {};
+  static T zero() { return {}; }
+  static T leaf(const K&, const V&) { return {}; }
+  static T combine(const T&, const T&, const T&) { return {}; }
+};
+
+// Augmentation summing values over subtrees; powers O(log n) range sums.
+template <class K, class V>
+struct AugSum {
+  using T = V;
+  static T zero() { return T{}; }
+  static T leaf(const K&, const V& v) { return v; }
+  static T combine(const T& l, const T& m, const T& r) { return l + m + r; }
+};
+
+template <class K, class V, class A = NoAug<K, V>>
+struct Node {
+  Node* left;
+  Node* right;
+  std::atomic<std::uint32_t> refs;
+  std::uint32_t height;
+  std::uint64_t weight;
+  typename A::T aug;
+  K key;
+  V val;
+
+  Node(const K& k, const V& v, Node* l, Node* r)
+      : left(l),
+        right(r),
+        refs(1),
+        height(1 + std::max(l != nullptr ? l->height : 0u,
+                            r != nullptr ? r->height : 0u)),
+        weight(1 + (l != nullptr ? l->weight : 0u) +
+               (r != nullptr ? r->weight : 0u)),
+        aug(A::combine(l != nullptr ? l->aug : A::zero(), A::leaf(k, v),
+                       r != nullptr ? r->aug : A::zero())),
+        key(k),
+        val(v) {}
+};
+
+template <class K, class V, class A>
+inline std::uint32_t height_of(const Node<K, V, A>* t) {
+  return t != nullptr ? t->height : 0;
+}
+
+template <class K, class V, class A>
+inline std::uint64_t weight_of(const Node<K, V, A>* t) {
+  return t != nullptr ? t->weight : 0;
+}
+
+template <class K, class V, class A>
+inline typename A::T aug_of(const Node<K, V, A>* t) {
+  return t != nullptr ? t->aug : A::zero();
+}
+
+// Allocates a node owning the references `l` and `r` (no count adjustment:
+// ownership transfers in). The returned pointer is one owned reference.
+template <class K, class V, class A>
+Node<K, V, A>* make_node(const K& k, const V& v, Node<K, V, A>* l,
+                         Node<K, V, A>* r) {
+  g_live_nodes.fetch_add(1, std::memory_order_relaxed);
+  return new Node<K, V, A>(k, v, l, r);
+}
+
+// Takes an additional owned reference to `t` (which may be null).
+template <class K, class V, class A>
+inline Node<K, V, A>* share(Node<K, V, A>* t) {
+  if (t != nullptr) t->refs.fetch_add(1, std::memory_order_relaxed);
+  return t;
+}
+
+// Releases one owned reference to `t` and frees every node that becomes
+// unreachable. Iterative, so no tree depth can overflow the stack, and the
+// work is O(freed + 1): one visit per freed node plus one decrement per
+// edge crossing out of the freed set. Returns the number of nodes freed.
+template <class K, class V, class A>
+std::size_t collect(Node<K, V, A>* t) {
+  if (t == nullptr ||
+      t->refs.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+    return 0;
+  }
+  std::size_t freed = 0;
+  // Reused across calls so steady-state version drops don't reallocate the
+  // traversal stack; collect never reenters itself.
+  thread_local std::vector<Node<K, V, A>*> stack;
+  stack.clear();
+  stack.push_back(t);
+  while (!stack.empty()) {
+    Node<K, V, A>* dead = stack.back();
+    stack.pop_back();
+    for (Node<K, V, A>* child : {dead->left, dead->right}) {
+      if (child != nullptr &&
+          child->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        stack.push_back(child);
+      }
+    }
+    delete dead;
+    ++freed;
+  }
+  g_live_nodes.fetch_sub(static_cast<long long>(freed),
+                         std::memory_order_relaxed);
+  return freed;
+}
+
+// Deconstructs an owned reference to `t` (non-null): copies out key/value,
+// hands the caller owned references to both children, and releases `t`.
+// When the caller holds the only reference the children's counts are stolen
+// rather than bumped, so hot single-version paths touch each count once.
+template <class K, class V, class A>
+inline void expose(Node<K, V, A>* t, Node<K, V, A>** l, Node<K, V, A>** r,
+                   K* k, V* v) {
+  assert(t != nullptr);
+  *k = t->key;
+  *v = t->val;
+  if (t->refs.load(std::memory_order_acquire) == 1) {
+    *l = t->left;
+    *r = t->right;
+    delete t;
+    g_live_nodes.fetch_sub(1, std::memory_order_relaxed);
+  } else {
+    *l = share(t->left);
+    *r = share(t->right);
+    t->refs.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+// Builds a node over (l, k/v, r) when their heights differ by at most two,
+// restoring the AVL invariant with at most a double rotation. This is the
+// rebalancing step shared by insert and join. Consumes l and r.
+template <class K, class V, class A>
+Node<K, V, A>* balance_node(Node<K, V, A>* l, const K& k, const V& v,
+                            Node<K, V, A>* r) {
+  const std::uint32_t hl = height_of(l);
+  const std::uint32_t hr = height_of(r);
+  if (hl > hr + 1) {
+    Node<K, V, A>*ll, *lr;
+    K lk;
+    V lv;
+    expose(l, &ll, &lr, &lk, &lv);
+    if (height_of(ll) >= height_of(lr)) {
+      return make_node(lk, lv, ll, make_node(k, v, lr, r));
+    }
+    Node<K, V, A>*ml, *mr;
+    K mk;
+    V mv;
+    expose(lr, &ml, &mr, &mk, &mv);
+    return make_node(mk, mv, make_node(lk, lv, ll, ml),
+                     make_node(k, v, mr, r));
+  }
+  if (hr > hl + 1) {
+    Node<K, V, A>*rl, *rr;
+    K rk;
+    V rv;
+    expose(r, &rl, &rr, &rk, &rv);
+    if (height_of(rr) >= height_of(rl)) {
+      return make_node(rk, rv, make_node(k, v, l, rl), rr);
+    }
+    Node<K, V, A>*ml, *mr;
+    K mk;
+    V mv;
+    expose(rl, &ml, &mr, &mk, &mv);
+    return make_node(mk, mv, make_node(k, v, l, ml),
+                     make_node(rk, rv, mr, rr));
+  }
+  return make_node(k, v, l, r);
+}
+
+// Path-copying insert-or-replace. Consumes `t`; returns the new version's
+// root. O(log n) new nodes; everything off the search path is shared.
+template <class K, class V, class A>
+Node<K, V, A>* insert(Node<K, V, A>* t, const K& k, const V& v) {
+  if (t == nullptr) return make_node<K, V, A>(k, v, nullptr, nullptr);
+  Node<K, V, A>*l, *r;
+  K tk;
+  V tv;
+  expose(t, &l, &r, &tk, &tv);
+  if (k < tk) return balance_node(insert(l, k, v), tk, tv, r);
+  if (tk < k) return balance_node(l, tk, tv, insert(r, k, v));
+  return make_node(k, v, l, r);
+}
+
+// Joins l < k < r into one AVL tree, for arbitrary height difference.
+// Consumes l and r. O(|h(l) - h(r)|).
+template <class K, class V, class A>
+Node<K, V, A>* join(Node<K, V, A>* l, const K& k, const V& v,
+                    Node<K, V, A>* r) {
+  const std::uint32_t hl = height_of(l);
+  const std::uint32_t hr = height_of(r);
+  if (hl > hr + 1) {
+    Node<K, V, A>*ll, *lr;
+    K lk;
+    V lv;
+    expose(l, &ll, &lr, &lk, &lv);
+    return balance_node(ll, lk, lv, join(lr, k, v, r));
+  }
+  if (hr > hl + 1) {
+    Node<K, V, A>*rl, *rr;
+    K rk;
+    V rv;
+    expose(r, &rl, &rr, &rk, &rv);
+    return balance_node(join(l, k, v, rl), rk, rv, rr);
+  }
+  return make_node(k, v, l, r);
+}
+
+template <class K, class V, class A>
+struct SplitResult {
+  Node<K, V, A>* left;
+  Node<K, V, A>* right;
+  bool found;
+  V value;
+};
+
+// Splits `t` at `k` into keys < k and keys > k, reporting k's value if
+// present. Consumes `t`. O(log n).
+template <class K, class V, class A>
+SplitResult<K, V, A> split(Node<K, V, A>* t, const K& k) {
+  if (t == nullptr) return {nullptr, nullptr, false, V{}};
+  Node<K, V, A>*l, *r;
+  K tk;
+  V tv;
+  expose(t, &l, &r, &tk, &tv);
+  if (k < tk) {
+    SplitResult<K, V, A> s = split(l, k);
+    return {s.left, join(s.right, tk, tv, r), s.found, s.value};
+  }
+  if (tk < k) {
+    SplitResult<K, V, A> s = split(r, k);
+    return {join(l, tk, tv, s.left), s.right, s.found, s.value};
+  }
+  return {l, r, true, tv};
+}
+
+// Union of two versions; on duplicate keys the entry from `b` wins (so
+// unioning a delta over a corpus applies the delta). Consumes both.
+// O(m log(n/m + 1)) for |b| = m <= n = |a| — the join-tree bound.
+template <class K, class V, class A>
+Node<K, V, A>* union_(Node<K, V, A>* a, Node<K, V, A>* b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  Node<K, V, A>*bl, *br;
+  K bk;
+  V bv;
+  expose(b, &bl, &br, &bk, &bv);
+  SplitResult<K, V, A> s = split(a, bk);
+  return join(union_(s.left, bl), bk, bv, union_(s.right, br));
+}
+
+// Builds a perfectly balanced tree over strictly increasing entries. O(n).
+template <class K, class V, class A>
+Node<K, V, A>* build_sorted(std::span<const std::pair<K, V>> entries) {
+  if (entries.empty()) return nullptr;
+  const std::size_t mid = entries.size() / 2;
+  return make_node<K, V, A>(entries[mid].first, entries[mid].second,
+                            build_sorted<K, V, A>(entries.first(mid)),
+                            build_sorted<K, V, A>(entries.subspan(mid + 1)));
+}
+
+// Sorts a batch by key and keeps only the last entry per key, the form
+// multi_insert expects (later updates win, matching repeated `insert`).
+template <class K, class V>
+void prepare_batch(std::vector<std::pair<K, V>>& batch) {
+  std::stable_sort(
+      batch.begin(), batch.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < batch.size();) {
+    std::size_t j = i;
+    while (j + 1 < batch.size() && !(batch[i].first < batch[j + 1].first)) {
+      ++j;
+    }
+    batch[out++] = std::move(batch[j]);
+    i = j + 1;
+  }
+  batch.resize(out);
+}
+
+// Applies a prepared (sorted, deduplicated) batch in one bulk operation:
+// build a tree over the batch, then union it over `t`. Consumes `t`.
+template <class K, class V, class A>
+Node<K, V, A>* multi_insert(Node<K, V, A>* t,
+                            std::span<const std::pair<K, V>> batch) {
+  return union_(t, build_sorted<K, V, A>(batch));
+}
+
+// Read-only point lookup; returns null when absent.
+template <class K, class V, class A>
+const V* find(const Node<K, V, A>* t, const K& k) {
+  while (t != nullptr) {
+    if (k < t->key) {
+      t = t->left;
+    } else if (t->key < k) {
+      t = t->right;
+    } else {
+      return &t->val;
+    }
+  }
+  return nullptr;
+}
+
+// Aggregate over keys >= lo within `t`.
+template <class K, class V, class A>
+typename A::T aug_ge(const Node<K, V, A>* t, const K& lo) {
+  if (t == nullptr) return A::zero();
+  if (t->key < lo) return aug_ge(t->right, lo);
+  return A::combine(aug_ge(t->left, lo), A::leaf(t->key, t->val),
+                    aug_of(t->right));
+}
+
+// Aggregate over keys <= hi within `t`.
+template <class K, class V, class A>
+typename A::T aug_le(const Node<K, V, A>* t, const K& hi) {
+  if (t == nullptr) return A::zero();
+  if (hi < t->key) return aug_le(t->left, hi);
+  return A::combine(aug_of(t->left), A::leaf(t->key, t->val),
+                    aug_le(t->right, hi));
+}
+
+// Aggregate over keys in [lo, hi]; the empty range yields A::zero(). Reads
+// O(log n) nodes by consuming whole-subtree aggregates at the boundary.
+template <class K, class V, class A>
+typename A::T aug_range(const Node<K, V, A>* t, const K& lo, const K& hi) {
+  if (t == nullptr) return A::zero();
+  if (t->key < lo) return aug_range(t->right, lo, hi);
+  if (hi < t->key) return aug_range(t->left, lo, hi);
+  return A::combine(aug_ge(t->left, lo), A::leaf(t->key, t->val),
+                    aug_le(t->right, hi));
+}
+
+// In-order traversal: f(key, value) for every entry.
+template <class K, class V, class A, class F>
+void for_each(const Node<K, V, A>* t, F&& f) {
+  if (t == nullptr) return;
+  for_each(t->left, f);
+  f(t->key, t->val);
+  for_each(t->right, f);
+}
+
+}  // namespace mvcc::ftree

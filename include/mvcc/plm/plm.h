@@ -1,0 +1,185 @@
+// Persistent list machine (PLM): the paper's abstract memory model for
+// multiversioned state, Section 4.
+//
+// A Machine owns a heap of immutable tuples whose slots hold either 64-bit
+// integers or references to other tuples, forming an arbitrary DAG. Because
+// tuples are immutable, reference counting is exact: a tuple is garbage iff
+// its count is zero, and `collect` (Theorem 4.2) reclaims the entire
+// unreachable set in O(S + 1) work for S tuples freed — each freed tuple is
+// visited once, plus one counter decrement per edge leaving the freed set.
+// The traversal is iterative (explicit worklist) so version chains of depth
+// 10^5+ cannot overflow the stack.
+//
+// Reference discipline:
+//   * make_tuple(slots) creates a tuple with count 0 and increments the
+//     count of every tuple its slots reference.
+//   * publish_root(t) registers one root reference (count + 1). A version
+//     handle in the vm/ layer is exactly such a root.
+//   * collect(v) drops one reference to v's tuple and cascades frees.
+//
+// A Machine is confined to one thread; the vm/ layer (later PRs) shards
+// machines per worker and coordinates roots across threads.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+namespace mvcc::plm {
+
+class Tuple;
+
+// A tagged slot value: either an integer or a tuple reference.
+class Value {
+ public:
+  Value() : bits_(0), kind_(Kind::kInt) {}
+
+  static Value from_int(std::int64_t i) {
+    Value v;
+    v.bits_ = i;
+    v.kind_ = Kind::kInt;
+    return v;
+  }
+
+  static Value from_tuple(Tuple* t) {
+    Value v;
+    v.bits_ = reinterpret_cast<std::intptr_t>(t);
+    v.kind_ = Kind::kTuple;
+    return v;
+  }
+
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_tuple() const { return kind_ == Kind::kTuple; }
+
+  std::int64_t as_int() const {
+    assert(is_int());
+    return bits_;
+  }
+
+  Tuple* as_tuple() const {
+    assert(is_tuple());
+    return reinterpret_cast<Tuple*>(static_cast<std::intptr_t>(bits_));
+  }
+
+ private:
+  enum class Kind : std::uint8_t { kInt, kTuple };
+
+  std::int64_t bits_;
+  Kind kind_;
+};
+
+// An immutable heap tuple. `refs` counts incoming slot references plus
+// published roots; the all_prev/all_next links thread every live tuple onto
+// the owning Machine's list so teardown and leak checks are O(live).
+class Tuple {
+ public:
+  std::size_t arity() const { return slots_.size(); }
+  const Value& slot(std::size_t i) const { return slots_[i]; }
+  std::uint32_t ref_count() const { return refs_; }
+
+ private:
+  friend class Machine;
+
+  explicit Tuple(std::vector<Value> slots) : slots_(std::move(slots)) {}
+
+  std::vector<Value> slots_;
+  std::uint32_t refs_ = 0;
+  Tuple* all_prev_ = nullptr;
+  Tuple* all_next_ = nullptr;
+};
+
+class Machine {
+ public:
+  Machine() = default;
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  ~Machine() {
+    // Whatever discipline the client followed, teardown reclaims the rest.
+    Tuple* t = all_head_;
+    while (t != nullptr) {
+      Tuple* next = t->all_next_;
+      delete t;
+      t = next;
+    }
+  }
+
+  // Allocates an immutable tuple over `slots`, taking one new reference to
+  // every tuple a slot points at. The result itself starts unreferenced;
+  // root it with publish_root or embed it in another tuple.
+  Tuple* make_tuple(std::vector<Value> slots) {
+    for (const Value& v : slots) {
+      if (v.is_tuple()) ++v.as_tuple()->refs_;
+    }
+    Tuple* t = new Tuple(std::move(slots));
+    t->all_next_ = all_head_;
+    if (all_head_ != nullptr) all_head_->all_prev_ = t;
+    all_head_ = t;
+    ++live_;
+    ++allocated_;
+    return t;
+  }
+
+  Tuple* make_tuple(std::initializer_list<Value> slots) {
+    return make_tuple(std::vector<Value>(slots));
+  }
+
+  // Registers one root reference to `t` (e.g. a published version handle).
+  void publish_root(Tuple* t) {
+    assert(t != nullptr);
+    ++t->refs_;
+  }
+
+  // Drops one reference to v's tuple (a no-op for integer values) and frees
+  // every tuple that becomes unreachable. Returns the number of tuples
+  // freed; total work is O(freed + 1) — Theorem 4.2's precise bound.
+  std::size_t collect(Value v) {
+    if (!v.is_tuple()) return 0;
+    Tuple* t = v.as_tuple();
+    assert(t->refs_ > 0 && "collect without a matching reference");
+    if (--t->refs_ != 0) return 0;
+    std::size_t freed = 0;
+    worklist_.clear();
+    worklist_.push_back(t);
+    while (!worklist_.empty()) {
+      Tuple* dead = worklist_.back();
+      worklist_.pop_back();
+      for (const Value& slot : dead->slots_) {
+        if (!slot.is_tuple()) continue;
+        Tuple* child = slot.as_tuple();
+        assert(child->refs_ > 0);
+        if (--child->refs_ == 0) worklist_.push_back(child);
+      }
+      unlink(dead);
+      delete dead;
+      ++freed;
+    }
+    live_ -= freed;
+    return freed;
+  }
+
+  std::size_t live_tuples() const { return live_; }
+  std::size_t total_allocated() const { return allocated_; }
+
+ private:
+  void unlink(Tuple* t) {
+    if (t->all_prev_ != nullptr) {
+      t->all_prev_->all_next_ = t->all_next_;
+    } else {
+      all_head_ = t->all_next_;
+    }
+    if (t->all_next_ != nullptr) t->all_next_->all_prev_ = t->all_prev_;
+  }
+
+  Tuple* all_head_ = nullptr;
+  std::size_t live_ = 0;
+  std::size_t allocated_ = 0;
+  // Reused across collect calls so steady-state collection does not
+  // reallocate; grows to the largest freed set seen.
+  std::vector<Tuple*> worklist_;
+};
+
+}  // namespace mvcc::plm

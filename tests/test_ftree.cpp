@@ -1,0 +1,257 @@
+// Tests for the raw functional-tree node layer: AVL balance bound, exact
+// reference counting (live-node counter returns to zero), and precision of
+// collect across shared versions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mvcc/common/rng.h"
+#include "mvcc/ftree/ops.h"
+
+namespace {
+
+using namespace mvcc;
+using N = ftree::Node<std::uint64_t, std::uint64_t>;
+
+// Recursively validates order, AVL balance, cached height/weight, and that
+// every reachable node is referenced. Returns the height.
+int check_invariants(const N* t, const std::uint64_t* lo,
+                     const std::uint64_t* hi) {
+  if (t == nullptr) return 0;
+  EXPECT_GE(t->refs.load(), 1u);
+  if (lo != nullptr) {
+    EXPECT_LT(*lo, t->key);
+  }
+  if (hi != nullptr) {
+    EXPECT_LT(t->key, *hi);
+  }
+  const int hl = check_invariants(t->left, lo, &t->key);
+  const int hr = check_invariants(t->right, &t->key, hi);
+  EXPECT_LE(std::abs(hl - hr), 1) << "AVL violation at key " << t->key;
+  EXPECT_EQ(t->height, static_cast<std::uint32_t>(1 + std::max(hl, hr)));
+  EXPECT_EQ(t->weight,
+            1 + ftree::weight_of(t->left) + ftree::weight_of(t->right));
+  return 1 + std::max(hl, hr);
+}
+
+void expect_matches(const N* t, const std::map<std::uint64_t, std::uint64_t>& want) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+  ftree::for_each(t, [&got](std::uint64_t k, std::uint64_t v) {
+    got.emplace_back(k, v);
+  });
+  ASSERT_EQ(got.size(), want.size());
+  auto it = want.begin();
+  for (const auto& [k, v] : got) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  }
+}
+
+// AVL height bound: h <= 1.4405 log2(n + 2).
+void expect_balanced(const N* t) {
+  const int h = check_invariants(t, nullptr, nullptr);
+  const double n = static_cast<double>(ftree::weight_of(t));
+  EXPECT_LE(h, 1.4405 * std::log2(n + 2.0) + 1.0);
+}
+
+TEST(Ftree, InsertFindBasic) {
+  const long long base_live = ftree::live_nodes();
+  N* t = nullptr;
+  for (std::uint64_t i = 0; i < 100; ++i) t = ftree::insert(t, i * 2, i);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const std::uint64_t* v = ftree::find(t, i * 2);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, i);
+    EXPECT_EQ(ftree::find(t, i * 2 + 1), nullptr);
+  }
+  EXPECT_EQ(ftree::collect(t), 100u);
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+TEST(Ftree, InsertReplacesExistingKey) {
+  const long long base_live = ftree::live_nodes();
+  N* t = nullptr;
+  t = ftree::insert(t, std::uint64_t{5}, std::uint64_t{1});
+  t = ftree::insert(t, std::uint64_t{5}, std::uint64_t{2});
+  EXPECT_EQ(ftree::weight_of(t), 1u);
+  EXPECT_EQ(*ftree::find(t, std::uint64_t{5}), 2u);
+  ftree::collect(t);
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+TEST(Ftree, BalancedAfterRandomInserts) {
+  const long long base_live = ftree::live_nodes();
+  Xoshiro256 rng(42);
+  std::map<std::uint64_t, std::uint64_t> want;
+  N* t = nullptr;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t k = rng.next_below(40000);
+    const std::uint64_t v = rng();
+    t = ftree::insert(t, k, v);
+    want[k] = v;
+  }
+  expect_balanced(t);
+  expect_matches(t, want);
+  EXPECT_EQ(ftree::collect(t), want.size());
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+TEST(Ftree, BalancedAfterSequentialInserts) {
+  const long long base_live = ftree::live_nodes();
+  N* t = nullptr;
+  for (std::uint64_t i = 0; i < 10000; ++i) t = ftree::insert(t, i, i);
+  expect_balanced(t);
+  ftree::collect(t);
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+TEST(Ftree, RefcountsExactAcrossManyVersions) {
+  // Keep ten versions alive simultaneously, then collect them in an
+  // arbitrary order; the global live-node counter must return to baseline.
+  const long long base_live = ftree::live_nodes();
+  Xoshiro256 rng(7);
+  std::vector<N*> versions;
+  N* t = nullptr;
+  for (int v = 0; v < 10; ++v) {
+    for (int i = 0; i < 500; ++i) {
+      t = ftree::insert(t, rng.next_below(2000), rng());
+    }
+    versions.push_back(ftree::share(t));
+  }
+  ftree::collect(t);
+  for (std::size_t i : {3u, 0u, 9u, 5u, 1u, 7u, 2u, 8u, 6u, 4u}) {
+    ftree::collect(versions[i]);
+  }
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+TEST(Ftree, CollectDerivedVersionPreservesSurvivor) {
+  const long long base_live = ftree::live_nodes();
+  Xoshiro256 rng(11);
+  std::map<std::uint64_t, std::uint64_t> want;
+  N* base = nullptr;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t k = rng.next_below(10000);
+    const std::uint64_t v = rng();
+    base = ftree::insert(base, k, v);
+    want[k] = v;
+  }
+  const std::uint64_t n_base = ftree::weight_of(base);
+  for (int round = 0; round < 50; ++round) {
+    const long long live_before = ftree::live_nodes();
+    N* derived = ftree::insert(ftree::share(base), rng.next_below(10000), rng());
+    // The derived version's private footprint is one search path.
+    const long long private_nodes = ftree::live_nodes() - live_before;
+    EXPECT_LE(private_nodes, static_cast<long long>(base->height) + 2);
+    const std::size_t freed = ftree::collect(derived);
+    EXPECT_EQ(static_cast<long long>(freed), private_nodes);
+    EXPECT_EQ(ftree::live_nodes(), live_before);
+  }
+  // Survivor is fully intact after all derived versions died.
+  EXPECT_EQ(ftree::weight_of(base), n_base);
+  expect_balanced(base);
+  expect_matches(base, want);
+  ftree::collect(base);
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+TEST(Ftree, SplitPartitionsAndReportsValue) {
+  const long long base_live = ftree::live_nodes();
+  N* t = nullptr;
+  for (std::uint64_t i = 0; i < 1000; ++i) t = ftree::insert(t, i * 2, i);
+  auto s = ftree::split(t, std::uint64_t{500});
+  EXPECT_TRUE(s.found);
+  EXPECT_EQ(s.value, 250u);
+  EXPECT_EQ(ftree::weight_of(s.left), 250u);   // keys 0..498
+  EXPECT_EQ(ftree::weight_of(s.right), 749u);  // keys 502..1998
+  check_invariants(s.left, nullptr, nullptr);
+  check_invariants(s.right, nullptr, nullptr);
+  ftree::collect(s.left);
+  ftree::collect(s.right);
+
+  N* u = ftree::insert(static_cast<N*>(nullptr), std::uint64_t{1},
+                       std::uint64_t{1});
+  auto miss = ftree::split(u, std::uint64_t{2});
+  EXPECT_FALSE(miss.found);
+  ftree::collect(miss.left);
+  ftree::collect(miss.right);
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+TEST(Ftree, UnionMergesAndStaysBalanced) {
+  const long long base_live = ftree::live_nodes();
+  Xoshiro256 rng(13);
+  std::map<std::uint64_t, std::uint64_t> want;
+  N* a = nullptr;
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t k = rng.next_below(6000);
+    a = ftree::insert(a, k, std::uint64_t{1});
+    want[k] = 1;
+  }
+  N* b = nullptr;
+  for (int i = 0; i < 400; ++i) {
+    const std::uint64_t k = rng.next_below(6000);
+    b = ftree::insert(b, k, std::uint64_t{2});
+    want[k] = 2;  // b wins duplicates
+  }
+  N* u = ftree::union_(a, b);
+  expect_balanced(u);
+  expect_matches(u, want);
+  ftree::collect(u);
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+TEST(Ftree, RepeatedUnionsKeepBalance) {
+  const long long base_live = ftree::live_nodes();
+  Xoshiro256 rng(17);
+  N* acc = nullptr;
+  for (int round = 0; round < 30; ++round) {
+    N* delta = nullptr;
+    for (int i = 0; i < 200; ++i) {
+      delta = ftree::insert(delta, rng(), std::uint64_t{1});
+    }
+    acc = ftree::union_(acc, delta);
+    expect_balanced(acc);
+  }
+  ftree::collect(acc);
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+TEST(Ftree, MultiInsertMatchesLoop) {
+  const long long base_live = ftree::live_nodes();
+  Xoshiro256 rng(19);
+  std::map<std::uint64_t, std::uint64_t> want;
+  N* t = nullptr;
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t k = rng.next_below(5000);
+    const std::uint64_t v = rng();
+    t = ftree::insert(t, k, v);
+    want[k] = v;
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> batch;
+  for (int i = 0; i < 300; ++i) batch.emplace_back(rng.next_below(5000), rng());
+  ftree::prepare_batch(batch);
+  for (const auto& [k, v] : batch) want[k] = v;
+  N* u = ftree::multi_insert(
+      t, std::span<const std::pair<std::uint64_t, std::uint64_t>>(batch));
+  expect_balanced(u);
+  expect_matches(u, want);
+  ftree::collect(u);
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+TEST(Ftree, PrepareBatchSortsAndKeepsLastDuplicate) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> batch = {
+      {5, 1}, {3, 1}, {5, 2}, {1, 1}, {3, 2}, {5, 3}};
+  ftree::prepare_batch(batch);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0], (std::pair<std::uint64_t, std::uint64_t>{1, 1}));
+  EXPECT_EQ(batch[1], (std::pair<std::uint64_t, std::uint64_t>{3, 2}));
+  EXPECT_EQ(batch[2], (std::pair<std::uint64_t, std::uint64_t>{5, 3}));
+}
+
+}  // namespace
