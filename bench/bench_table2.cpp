@@ -72,7 +72,7 @@ int main() {
 
   bench::print_header(
       "Table 2: query/update throughput and live versions per VM algorithm");
-  std::printf("(readers=%d, scale=%.1f, %gs per cell; paper: 140 readers, "
+  std::printf("(readers=%d, scale=%g, %gs per cell; paper: 140 readers, "
               "1e8 keys, 15s)\n",
               mvcc::bench::reader_threads(), mvcc::env_scale(),
               mvcc::bench::cell_seconds());

@@ -34,6 +34,11 @@ inline double env_double(const char* name, double def) {
   return (end == nullptr || *end != '\0') ? def : v;
 }
 
+// The raw MVCC_SCALE multiplier (default 1.0). Benches that compute their
+// own sizes multiply by this; use env_scale(base) when a ready-made element
+// count is wanted.
+inline double env_scale() { return env_double("MVCC_SCALE", 1.0); }
+
 // Scales a base structure size by MVCC_SCALE. Never returns less than 1 for
 // a positive base, so `env_scale(n)` is always a usable element count.
 inline long env_scale(long base) {

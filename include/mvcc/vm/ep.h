@@ -1,0 +1,120 @@
+// EP — epoch-based reclamation baseline (Table 2 / Figure 6's "EP").
+//
+// The classic scheme the paper compares against: a global epoch advances
+// on every set; a reader reserves the epoch it entered at, reads the
+// current version, and clears the reservation on release. A superseded
+// version is tagged with the epoch at which it was replaced and may be
+// freed once every active reservation is strictly newer.
+//
+// Reads are the cheapest of any scheme here — one load and one store, no
+// validation loop — which is EP's practical appeal. The cost is
+// imprecision: a single stalled reader pins its entry epoch forever, and
+// since every later version retires at a later epoch, NOTHING retired
+// after the stall can be freed. That is the unbounded blow-up the paper's
+// Figure 6 shows at small update granularity, and what the precise
+// algorithms (pswf.h / pslf.h) eliminate.
+//
+// Reclamation runs on the writer: set tags the replaced version, advances
+// the epoch, and frees the limbo prefix older than every reservation.
+// release never frees (returns an empty set).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "mvcc/vm/base.h"
+
+namespace mvcc::vm {
+
+template <class T>
+class EpVersionManager : public VmStats {
+ public:
+  EpVersionManager(int nprocs, T* initial)
+      : nprocs_(nprocs), res_(nprocs), current_(initial) {
+    assert(nprocs >= 1);
+  }
+
+  EpVersionManager(const EpVersionManager&) = delete;
+  EpVersionManager& operator=(const EpVersionManager&) = delete;
+
+  static constexpr const char* name() { return "EP"; }
+
+  T* acquire(int p) {
+    res_[p].e.store(epoch_.load(std::memory_order_seq_cst),
+                    std::memory_order_seq_cst);
+    return current_.load(std::memory_order_seq_cst);
+  }
+
+  std::vector<T*> release(int p) {
+    res_[p].e.store(kQuiescent, std::memory_order_release);
+    return {};
+  }
+
+  // Single writer at a time (externally serialized).
+  std::vector<T*> set(int p, T* next) {
+    (void)p;
+    T* old = current_.load(std::memory_order_relaxed);
+    current_.store(next, std::memory_order_seq_cst);
+    // fetch_add returns the epoch in force when `old` was replaced; every
+    // holder's reservation is <= it, so the strict < below protects them.
+    const std::uint64_t retired_at =
+        epoch_.fetch_add(1, std::memory_order_seq_cst);
+    limbo_.push_back({old, retired_at});
+    note_retired();
+    return reclaim();
+  }
+
+  std::vector<T*> shutdown_drain() {
+    std::vector<T*> out;
+    for (const Limbo& l : limbo_) out.push_back(l.payload);
+    note_freed(static_cast<std::int64_t>(limbo_.size()));
+    limbo_.clear();
+    if (T* cur = current_.exchange(nullptr, std::memory_order_relaxed)) {
+      out.push_back(cur);
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::uint64_t kQuiescent =
+      std::numeric_limits<std::uint64_t>::max();
+
+  struct alignas(64) Reservation {
+    std::atomic<std::uint64_t> e{kQuiescent};
+  };
+
+  struct Limbo {
+    T* payload;
+    std::uint64_t retired_at;
+  };
+
+  // Frees the limbo prefix strictly older than every active reservation.
+  // Limbo is retire-epoch ordered, so this pops from the front and the
+  // work is O(P + freed).
+  std::vector<T*> reclaim() {
+    std::uint64_t min_res = kQuiescent;
+    for (int q = 0; q < nprocs_; ++q) {
+      min_res = std::min(min_res, res_[q].e.load(std::memory_order_seq_cst));
+    }
+    std::vector<T*> freed;
+    while (!limbo_.empty() && limbo_.front().retired_at < min_res) {
+      freed.push_back(limbo_.front().payload);
+      limbo_.pop_front();
+    }
+    note_freed(static_cast<std::int64_t>(freed.size()));
+    return freed;
+  }
+
+  const int nprocs_;
+  std::vector<Reservation> res_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<T*> current_;
+  std::deque<Limbo> limbo_;  // writer-owned, retire-epoch ordered
+};
+
+}  // namespace mvcc::vm

@@ -1,0 +1,113 @@
+// HP — hazard-pointer reclamation baseline (Table 2 / Figure 6's "HP").
+//
+// Each process protects the version it reads with one hazard pointer,
+// installed by the classic announce-and-validate loop (same read-side cost
+// shape as pslf.h, and likewise only lock-free). Reclamation is amortized
+// on the writer: superseded versions accumulate on a retired list, and
+// once it reaches 2P the writer scans all hazard pointers and frees every
+// unprotected version. At most P retired versions can be protected (one
+// hazard each), so the number of uncollected versions is bounded by 2P —
+// the flat "2P" line of Figure 6, immune to stalled readers (a stalled
+// reader pins exactly the one version its hazard names) but never precise:
+// a version's payload comes back only at some later scan, not when its
+// last reader leaves.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mvcc/vm/base.h"
+
+namespace mvcc::vm {
+
+template <class T>
+class HpVersionManager : public VmStats {
+ public:
+  HpVersionManager(int nprocs, T* initial)
+      : nprocs_(nprocs), hp_(nprocs), current_(initial) {
+    assert(nprocs >= 1);
+  }
+
+  HpVersionManager(const HpVersionManager&) = delete;
+  HpVersionManager& operator=(const HpVersionManager&) = delete;
+
+  static constexpr const char* name() { return "HP"; }
+
+  T* acquire(int p) {
+    T* v;
+    do {
+      v = current_.load(std::memory_order_seq_cst);
+      hp_[p].h.store(v, std::memory_order_seq_cst);
+    } while (current_.load(std::memory_order_seq_cst) != v);
+    return v;
+  }
+
+  std::vector<T*> release(int p) {
+    hp_[p].h.store(nullptr, std::memory_order_release);
+    return {};
+  }
+
+  // Single writer at a time (externally serialized).
+  std::vector<T*> set(int p, T* next) {
+    (void)p;
+    T* old = current_.load(std::memory_order_relaxed);
+    current_.store(next, std::memory_order_seq_cst);
+    retired_.push_back(old);
+    note_retired();
+    if (retired_.size() >= 2 * static_cast<std::size_t>(nprocs_)) {
+      return scan();
+    }
+    return {};
+  }
+
+  std::vector<T*> shutdown_drain() {
+    std::vector<T*> out = std::move(retired_);
+    retired_.clear();
+    note_freed(static_cast<std::int64_t>(out.size()));
+    if (T* cur = current_.exchange(nullptr, std::memory_order_relaxed)) {
+      out.push_back(cur);
+    }
+    return out;
+  }
+
+ private:
+  struct alignas(64) Hazard {
+    std::atomic<T*> h{nullptr};
+  };
+
+  // O(R * P) with R <= 2P and P the process count; amortized over the 2P
+  // retirements between scans.
+  std::vector<T*> scan() {
+    protected_.clear();
+    for (int q = 0; q < nprocs_; ++q) {
+      if (T* h = hp_[q].h.load(std::memory_order_seq_cst)) {
+        protected_.push_back(h);
+      }
+    }
+    std::vector<T*> freed;
+    std::size_t out = 0;
+    for (T* v : retired_) {
+      bool held = false;
+      for (T* h : protected_) held = held || (h == v);
+      if (held) {
+        retired_[out++] = v;
+      } else {
+        freed.push_back(v);
+      }
+    }
+    retired_.resize(out);
+    note_freed(static_cast<std::int64_t>(freed.size()));
+    return freed;
+  }
+
+  const int nprocs_;
+  std::vector<Hazard> hp_;
+  std::atomic<T*> current_;
+  std::vector<T*> retired_;    // writer-owned
+  std::vector<T*> protected_;  // writer-owned scratch, reused across scans
+};
+
+}  // namespace mvcc::vm

@@ -1,0 +1,114 @@
+// RCU — read-copy-update baseline (Table 2 / Figure 6's "RCU").
+//
+// Readers mark themselves active with the generation they entered at;
+// reads are wait-free and as cheap as EP's. The writer pays for it all:
+// after publishing a new version, set advances the generation and BLOCKS
+// until every other process is either idle or has re-entered at the new
+// generation, then frees the replaced version immediately. That pins the
+// number of uncollected versions at 1 (the paper's Figure 6 line) but
+// couples update latency to the slowest reader: a stalled reader stalls
+// the writer itself, the opposite trade from EP (where the writer sails on
+// and memory blows up).
+//
+// The one wrinkle is the writer's own read-side section: the VM protocol
+// has the writer acquire before set, so the version it replaces may be
+// pinned by the writer itself. In that case the grace period cannot free
+// it (that would deadlock set); it is deferred to the writer's own release
+// and returned there.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "mvcc/vm/base.h"
+
+namespace mvcc::vm {
+
+template <class T>
+class RcuVersionManager : public VmStats {
+ public:
+  RcuVersionManager(int nprocs, T* initial)
+      : nprocs_(nprocs), rs_(nprocs), pending_(nprocs), current_(initial) {
+    assert(nprocs >= 1);
+  }
+
+  RcuVersionManager(const RcuVersionManager&) = delete;
+  RcuVersionManager& operator=(const RcuVersionManager&) = delete;
+
+  static constexpr const char* name() { return "RCU"; }
+
+  T* acquire(int p) {
+    const std::uint64_t g = gen_.load(std::memory_order_seq_cst);
+    rs_[p].s.store((g << 1) | 1, std::memory_order_seq_cst);
+    return current_.load(std::memory_order_seq_cst);
+  }
+
+  std::vector<T*> release(int p) {
+    rs_[p].s.store(0, std::memory_order_seq_cst);
+    if (pending_[p].v.empty()) return {};
+    // Versions this process's own sets replaced while it was reading.
+    std::vector<T*> freed = std::move(pending_[p].v);
+    pending_[p].v.clear();
+    note_freed(static_cast<std::int64_t>(freed.size()));
+    return freed;
+  }
+
+  // Single writer at a time (externally serialized). Blocks for a grace
+  // period: every other process must be idle or past the new generation.
+  std::vector<T*> set(int p, T* next) {
+    T* old = current_.load(std::memory_order_relaxed);
+    current_.store(next, std::memory_order_seq_cst);
+    const std::uint64_t g = gen_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    note_retired();
+    for (int q = 0; q < nprocs_; ++q) {
+      if (q == p) continue;  // never wait on our own read-side section
+      while (true) {
+        const std::uint64_t s = rs_[q].s.load(std::memory_order_seq_cst);
+        if ((s & 1) == 0 || (s >> 1) >= g) break;
+        std::this_thread::yield();
+      }
+    }
+    // Only the caller can still hold `old` now.
+    if ((rs_[p].s.load(std::memory_order_relaxed) & 1) != 0) {
+      pending_[p].v.push_back(old);
+      return {};
+    }
+    note_freed(1);
+    return {old};
+  }
+
+  std::vector<T*> shutdown_drain() {
+    std::vector<T*> out;
+    for (int q = 0; q < nprocs_; ++q) {
+      for (T* v : pending_[q].v) out.push_back(v);
+      note_freed(static_cast<std::int64_t>(pending_[q].v.size()));
+      pending_[q].v.clear();
+    }
+    if (T* cur = current_.exchange(nullptr, std::memory_order_relaxed)) {
+      out.push_back(cur);
+    }
+    return out;
+  }
+
+ private:
+  struct alignas(64) ReaderState {
+    // 0 = idle; otherwise (generation << 1) | 1.
+    std::atomic<std::uint64_t> s{0};
+  };
+
+  struct alignas(64) Pending {
+    std::vector<T*> v;  // touched only by its own process
+  };
+
+  const int nprocs_;
+  std::vector<ReaderState> rs_;
+  std::vector<Pending> pending_;
+  std::atomic<std::uint64_t> gen_{0};
+  std::atomic<T*> current_;
+};
+
+}  // namespace mvcc::vm

@@ -46,6 +46,18 @@ TEST(Env, ScaleMultipliesAndClampsToOne) {
   unsetenv("MVCC_SCALE");
 }
 
+TEST(Env, ScaleNoArgReturnsRawMultiplier) {
+  unsetenv("MVCC_SCALE");
+  EXPECT_DOUBLE_EQ(env_scale(), 1.0);
+  setenv("MVCC_SCALE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_scale(), 2.5);
+  setenv("MVCC_SCALE", "0.01", 1);
+  EXPECT_DOUBLE_EQ(env_scale(), 0.01);  // fractional scales pass through
+  setenv("MVCC_SCALE", "junk", 1);
+  EXPECT_DOUBLE_EQ(env_scale(), 1.0);
+  unsetenv("MVCC_SCALE");
+}
+
 TEST(Env, ThreadsIsPositive) {
   unsetenv("MVCC_THREADS");
   EXPECT_GE(env_threads(), 1);
