@@ -9,6 +9,15 @@
 
 namespace mvcc {
 
+// The splitmix64 finalizer: a fixed, well-mixed 64->64 bijection. Used to
+// expand seeds into PRNG state and wherever a cheap stateless scramble of
+// a counter or rank is needed (e.g. the YCSB key scrambler).
+inline std::uint64_t splitmix64_mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 class Xoshiro256 {
  public:
   using result_type = std::uint64_t;
@@ -18,10 +27,7 @@ class Xoshiro256 {
     std::uint64_t x = seed;
     for (auto& word : state_) {
       x += 0x9e3779b97f4a7c15ULL;
-      std::uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-      word = z ^ (z >> 31);
+      word = splitmix64_mix(x);
     }
   }
 

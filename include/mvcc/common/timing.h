@@ -2,17 +2,26 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace mvcc {
 
-// Steady-clock stopwatch: starts at construction, `seconds()` reads the
-// elapsed time without stopping, `reset()` restarts it.
+// Steady-clock stopwatch: starts at construction, `seconds()` /
+// `nanos()` read the elapsed time without stopping, `reset()` restarts it.
 class Timer {
  public:
   Timer() : start_(Clock::now()) {}
 
   double seconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  // Integer nanoseconds, for latency sampling into atomic accumulators.
+  std::uint64_t nanos() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
   }
 
   void reset() { start_ = Clock::now(); }

@@ -123,10 +123,22 @@ std::size_t collect(Node<K, V, A>* t) {
     return 0;
   }
   std::size_t freed = 0;
-  // Reused across calls so steady-state version drops don't reallocate the
-  // traversal stack; collect never reenters itself.
-  thread_local std::vector<Node<K, V, A>*> stack;
-  stack.clear();
+  // The thread-local stack is reused across calls so steady-state version
+  // drops don't reallocate it — but `delete dead` can reenter collect at
+  // this very instantiation when V's destructor drops another tree of the
+  // same type (map-of-maps payloads, txn batching vectors, the inverted
+  // index). The in-use guard routes such nested calls to a plain local
+  // stack, leaving the outer iteration's state intact; only the outermost
+  // frame — the steady-state path — touches the shared allocation.
+  thread_local std::vector<Node<K, V, A>*> shared_stack;
+  thread_local bool shared_stack_in_use = false;
+  std::vector<Node<K, V, A>*> local_stack;
+  const bool outermost = !shared_stack_in_use;
+  std::vector<Node<K, V, A>*>& stack = outermost ? shared_stack : local_stack;
+  if (outermost) {
+    shared_stack_in_use = true;
+    stack.clear();
+  }
   stack.push_back(t);
   while (!stack.empty()) {
     Node<K, V, A>* dead = stack.back();
@@ -137,9 +149,10 @@ std::size_t collect(Node<K, V, A>* t) {
         stack.push_back(child);
       }
     }
-    delete dead;
+    delete dead;  // may reenter collect through ~V; see guard above
     ++freed;
   }
+  if (outermost) shared_stack_in_use = false;
   g_live_nodes.fetch_sub(static_cast<long long>(freed),
                          std::memory_order_relaxed);
   return freed;

@@ -129,8 +129,14 @@ RangeWorkloadResult run_range_workload(const RangeWorkloadConfig& cfg) {
     }
   }
   stop.store(true, std::memory_order_release);
-  for (std::thread& t : readers) t.join();
+  // Snapshot the clock at the stop signal, before joining: thread join
+  // latency is not part of the measured window, and every counted unit of
+  // work (readers exit their loop at the first stop observation, the writer
+  // stopped above) completed at most one in-flight query past this instant.
+  // Reading the timer after the joins inflated the denominator and
+  // under-reported both throughputs.
   result.elapsed_sec = timer.seconds();
+  for (std::thread& t : readers) t.join();
 
   for (RangeSnapshot* dead : vm.shutdown_drain()) delete dead;
   result.queries = total_queries.load(std::memory_order_relaxed);

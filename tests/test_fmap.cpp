@@ -5,6 +5,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "mvcc/common/rng.h"
@@ -157,6 +159,69 @@ TEST(FMap, MultiInsertedMatchesLoopOfInserted) {
   EXPECT_EQ(bulk.to_vector(), loop.to_vector());
   EXPECT_EQ(bulk.aug_range(0, ~std::uint64_t{0}),
             loop.aug_range(0, ~std::uint64_t{0}));
+}
+
+// Map-of-maps payload: the value type owns (possibly the last reference
+// to) another FMap of the SAME node instantiation, so destroying an outer
+// node reenters ftree::collect at the instantiation currently iterating.
+// Regression for the thread_local traversal stack being clear()ed by the
+// nested call mid-iteration, which silently leaked the outer tree's
+// pending subtrees (caught here by live_nodes, and by ASan leak checking
+// in CI).
+struct NestedVal {
+  std::shared_ptr<ftree::FMap<std::uint64_t, NestedVal>> sub;
+};
+using NestedMap = ftree::FMap<std::uint64_t, NestedVal>;
+
+TEST(FMap, CollectReentrancyMapOfMaps) {
+  const long long base_live = ftree::live_nodes();
+  {
+    NestedMap outer;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      auto inner = std::make_shared<NestedMap>();
+      for (std::uint64_t j = 0; j < 16; ++j) {
+        NestedVal leaf;
+        if (j % 4 == 0) {
+          // Third level: some inner values own their own maps, so one
+          // outer node delete can reenter collect more than one frame deep.
+          auto deep = std::make_shared<NestedMap>();
+          for (std::uint64_t d = 0; d < 4; ++d) {
+            *deep = deep->inserted(d, NestedVal{});
+          }
+          leaf.sub = std::move(deep);
+        }
+        *inner = inner->inserted(j, std::move(leaf));
+      }
+      outer = outer.inserted(i, NestedVal{std::move(inner)});
+    }
+    EXPECT_EQ(outer.size(), 64u);
+  }  // cascading destruction: every delete of an outer node drops inner maps
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+TEST(FMap, CollectReentrancyDeepSharedVersions) {
+  const long long base_live = ftree::live_nodes();
+  {
+    // Inner maps shared across outer versions: dropping one version must
+    // free exactly its private nodes, and the nested collects triggered by
+    // the final version's death must still free everything.
+    auto shared_inner = std::make_shared<NestedMap>();
+    for (std::uint64_t j = 0; j < 64; ++j) {
+      *shared_inner = shared_inner->inserted(j, NestedVal{});
+    }
+    std::vector<NestedMap> versions;
+    NestedMap m;
+    for (std::uint64_t i = 0; i < 32; ++i) {
+      m = m.inserted(i, NestedVal{shared_inner});
+      versions.push_back(m);
+    }
+    shared_inner.reset();  // the tree entries now hold the only references
+    for (std::size_t i = 0; i + 1 < versions.size(); i += 2) {
+      versions[i] = NestedMap();
+      EXPECT_GT(versions[i + 1].size(), 0u);
+    }
+  }
+  EXPECT_EQ(ftree::live_nodes(), base_live);
 }
 
 TEST(FMap, ManyVersionsCollectToZero) {

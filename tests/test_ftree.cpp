@@ -254,4 +254,35 @@ TEST(Ftree, PrepareBatchSortsAndKeepsLastDuplicate) {
   EXPECT_EQ(batch[2], (std::pair<std::uint64_t, std::uint64_t>{5, 3}));
 }
 
+// Property test over duplicate-heavy random batches (the shape the txn
+// batching layer produces under a Zipfian workload): after prepare_batch
+// the batch is strictly sorted and holds, per key, the LAST value that
+// appeared in submission order — exactly what a loop of repeated inserts
+// would leave.
+TEST(Ftree, PrepareBatchDuplicateHeavyLastWinsProperty) {
+  Xoshiro256 rng(0xba7c4);
+  for (int trial = 0; trial < 32; ++trial) {
+    const std::size_t n = 1 + rng.next_below(600);
+    const std::uint64_t key_space = 1 + rng.next_below(24);  // heavy dups
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> batch;
+    batch.reserve(n);
+    std::map<std::uint64_t, std::uint64_t> want;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t k = rng.next_below(key_space);
+      const std::uint64_t v = i;  // unique serial values expose wrong picks
+      batch.emplace_back(k, v);
+      want[k] = v;
+    }
+    ftree::prepare_batch(batch);
+    ASSERT_EQ(batch.size(), want.size());
+    for (std::size_t i = 0; i + 1 < batch.size(); ++i) {
+      EXPECT_LT(batch[i].first, batch[i + 1].first);
+    }
+    for (const auto& [k, v] : batch) {
+      ASSERT_TRUE(want.count(k));
+      EXPECT_EQ(v, want[k]) << "key " << k << " lost its last submission";
+    }
+  }
+}
+
 }  // namespace

@@ -1,0 +1,369 @@
+// Tests for the txn/ batched multi-writer front-end and the YCSB workload
+// generator: commit semantics (sync tickets, flush drains, last-write-wins
+// dedup), snapshot isolation of read transactions, batch-bound accounting,
+// multi-producer/multi-reader stress, and zero node leakage after every
+// teardown. Every suite name starts with "Txn" so CI's TSan job can select
+// this concurrency tier alongside Vm with `ctest -R 'Vm|Txn'`.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "mvcc/common/rng.h"
+#include "mvcc/ftree/ops.h"
+#include "mvcc/txn/batching.h"
+#include "mvcc/vm/base.h"
+#include "mvcc/vm/pslf.h"
+#include "mvcc/vm/pswf.h"
+#include "mvcc/workload/ycsb.h"
+
+namespace {
+
+using namespace mvcc;
+
+using PswfMap = txn::BatchingMap<std::uint64_t, std::uint64_t,
+                                 ftree::NoAug<std::uint64_t, std::uint64_t>,
+                                 vm::PswfVersionManager>;
+using PslfMap = txn::BatchingMap<std::uint64_t, std::uint64_t,
+                                 ftree::NoAug<std::uint64_t, std::uint64_t>,
+                                 vm::PslfVersionManager>;
+using BaseMap = txn::BatchingMap<std::uint64_t, std::uint64_t,
+                                 ftree::NoAug<std::uint64_t, std::uint64_t>,
+                                 vm::BaseVersionManager>;
+
+// ---------------------------------------------------------------------------
+// Batching semantics.
+
+TEST(TxnBatching, UpsertSyncIsVisibleOnReturn) {
+  const long long base_live = ftree::live_nodes();
+  {
+    PswfMap map(1, {});
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      map.upsert_sync(0, i, i * 10);
+      auto v = map.get(0, i);
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, i * 10);
+    }
+    EXPECT_EQ(map.ops_committed(), 100u);
+  }
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+TEST(TxnBatching, FlushAllDrainsEverySubmission) {
+  const long long base_live = ftree::live_nodes();
+  {
+    PswfMap map(2, {}, /*buffer_capacity=*/1 << 10, /*max_batch=*/64);
+    for (std::uint64_t i = 0; i < 500; ++i) {
+      map.submit(0, txn::BatchOp::kUpsert, i, i);
+    }
+    for (std::uint64_t i = 400; i < 900; ++i) {
+      map.submit(1, txn::BatchOp::kUpsert, i, i + 7);
+    }
+    map.flush_all();
+    auto txn = map.read_txn(0);
+    EXPECT_EQ(txn.map().size(), 900u);
+    // Keys 400-499 are written by both producers; their winner depends on
+    // drain interleaving, so only the disjoint ranges assert values.
+    for (std::uint64_t i = 0; i < 400; ++i) {
+      ASSERT_NE(txn->find(i), nullptr);
+      EXPECT_EQ(*txn->find(i), i);
+    }
+    for (std::uint64_t i = 500; i < 900; ++i) {
+      ASSERT_NE(txn->find(i), nullptr);
+      EXPECT_EQ(*txn->find(i), i + 7);
+    }
+    EXPECT_EQ(map.ops_committed(), 1000u);
+  }
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+TEST(TxnBatching, LastWriteWinsWithinProducer) {
+  const long long base_live = ftree::live_nodes();
+  {
+    PswfMap map(1, {}, 1 << 10, /*max_batch=*/1 << 12);
+    // All updates to the same key land in one batch: dedup must keep the
+    // latest submission, matching a loop of point inserts.
+    for (std::uint64_t i = 0; i <= 300; ++i) {
+      map.submit(0, txn::BatchOp::kUpsert, 42, i);
+    }
+    map.flush_all();
+    auto v = map.get(0, 42);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 300u);
+    EXPECT_EQ(map.ops_committed(), 301u);
+  }
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+TEST(TxnBatching, ReadTxnIsAFrozenSnapshot) {
+  const long long base_live = ftree::live_nodes();
+  {
+    PswfMap map(1, PswfMap::Map::from_entries({{1, 1}, {2, 2}}));
+    auto before = map.read_txn(0);
+    map.upsert_sync(0, 3, 3);
+    map.upsert_sync(0, 1, 99);
+    // The snapshot still reads the version it pinned...
+    EXPECT_EQ(before.map().size(), 2u);
+    EXPECT_EQ(*before->find(1), 1u);
+    EXPECT_EQ(before->find(3), nullptr);
+    // ...while new transactions see the commits.
+    auto after = map.read_txn(0);
+    EXPECT_EQ(after.map().size(), 3u);
+    EXPECT_EQ(*after->find(1), 99u);
+  }
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+TEST(TxnBatching, SnapshotOutlivesTheMap) {
+  const long long base_live = ftree::live_nodes();
+  {
+    PswfMap::ReadTxn* held = nullptr;
+    {
+      PswfMap map(1, PswfMap::Map::from_entries({{7, 70}, {8, 80}}));
+      held = new PswfMap::ReadTxn(map.read_txn(0));
+    }  // manager destroyed; the snapshot owns its nodes by refcount
+    EXPECT_EQ(held->map().size(), 2u);
+    EXPECT_EQ(*held->map().find(7), 70u);
+    delete held;
+  }
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+TEST(TxnBatching, RespectsMaxBatchBound) {
+  const long long base_live = ftree::live_nodes();
+  {
+    PswfMap map(1, {}, 1 << 10, /*max_batch=*/8);
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      map.submit(0, txn::BatchOp::kUpsert, i, i);
+    }
+    map.flush_all();
+    EXPECT_EQ(map.ops_committed(), 256u);
+    // No published version may fold in more than max_batch ops.
+    EXPECT_GE(map.batches_committed(), 256u / 8);
+  }
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+TEST(TxnBatching, InitialMapIsServedBeforeAnyCommit) {
+  const long long base_live = ftree::live_nodes();
+  {
+    auto dataset = workload::ycsb_dataset(1000);
+    PswfMap map(2, PswfMap::Map::from_entries(std::move(dataset)), 1 << 14);
+    auto txn = map.read_txn(1);
+    EXPECT_EQ(txn.map().size(), 1000u);
+    auto v = map.get(0, 999);
+    EXPECT_TRUE(v.has_value());
+  }
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+// The GC-off ablation (Figure 7 "ours" column) runs the same front-end
+// over the leak-list Base VM; everything still comes back at teardown.
+TEST(TxnBatching, BaseVmVariantCommitsAndDrains) {
+  const long long base_live = ftree::live_nodes();
+  {
+    BaseMap map(1, {}, 1 << 10, 16);
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      map.submit(0, txn::BatchOp::kUpsert, i % 50, i);
+    }
+    map.flush_all();
+    auto v = map.get(0, 49);
+    ASSERT_TRUE(v.has_value());
+  }
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency stress (the TSan targets).
+
+TEST(TxnBatching, MultiProducerDisjointKeysAllCommit) {
+  const long long base_live = ftree::live_nodes();
+  {
+    constexpr int kProducers = 4;
+    constexpr std::uint64_t kPerProducer = 4000;
+    PswfMap map(kProducers, {}, 1 << 12, 256);
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+      threads.emplace_back([&, p] {
+        for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+          // Disjoint key stripes; the final value per key is its last write.
+          const std::uint64_t k =
+              static_cast<std::uint64_t>(p) + kProducers * (i % 1000);
+          if (i % 64 == 63) {
+            map.upsert_sync(p, k, i);
+          } else {
+            map.submit(p, txn::BatchOp::kUpsert, k, i);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    map.flush_all();
+    EXPECT_EQ(map.ops_committed(),
+              static_cast<std::uint64_t>(kProducers) * kPerProducer);
+    auto txn = map.read_txn(0);
+    EXPECT_EQ(txn.map().size(), kProducers * 1000u);
+    for (int p = 0; p < kProducers; ++p) {
+      for (std::uint64_t s = 0; s < 1000; ++s) {
+        const std::uint64_t k = static_cast<std::uint64_t>(p) + kProducers * s;
+        const std::uint64_t* v = txn->find(k);
+        ASSERT_NE(v, nullptr);
+        // Last write to stripe s by producer p has i = 3000 + s.
+        EXPECT_EQ(*v, 3000 + s);
+      }
+    }
+  }
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+template <class M>
+void run_producers_vs_readers_stress() {
+  const long long base_live = ftree::live_nodes();
+  {
+    constexpr int kProducers = 3;
+    M map(kProducers, M::Map::from_entries(workload::ycsb_dataset(2000)),
+          1 << 12, 128);
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> threads;
+    for (int p = 1; p < kProducers; ++p) {
+      threads.emplace_back([&, p] {
+        Xoshiro256 rng(static_cast<std::uint64_t>(p) * 77 + 1);
+        std::uint64_t i = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+          if (i % 97 == 96) {
+            map.upsert_sync(p, rng.next_below(4000), i);
+          } else {
+            map.submit(p, txn::BatchOp::kUpsert, rng.next_below(4000), i);
+          }
+          ++i;
+        }
+      });
+    }
+    // Reader on slot 0 (no producer uses it concurrently): point reads and
+    // snapshot scans must always see a consistent committed version.
+    threads.emplace_back([&] {
+      Xoshiro256 rng(5);
+      for (int i = 0; i < 300; ++i) {
+        auto v = map.get(0, rng.next_below(4000));
+        (void)v;
+        auto txn = map.read_txn(0);
+        EXPECT_GE(txn.map().size(), 2000u);
+      }
+      stop.store(true, std::memory_order_release);
+    });
+    for (auto& t : threads) t.join();
+    map.flush_all();
+    EXPECT_GT(map.batches_committed(), 0u);
+  }
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+TEST(TxnBatching, ProducersVsReadersStressPswf) {
+  run_producers_vs_readers_stress<PswfMap>();
+}
+
+TEST(TxnBatching, ProducersVsReadersStressPslf) {
+  run_producers_vs_readers_stress<PslfMap>();
+}
+
+// Nested-map payloads under the batching front-end: V owns another FMap,
+// so precise collect reenters itself on the flattener thread while it
+// frees superseded versions — the reentrancy bug's original trigger.
+TEST(TxnBatching, NestedMapPayloadsCollectPrecisely) {
+  const long long base_live = ftree::live_nodes();
+  {
+    struct Inner {
+      ftree::FMap<std::uint64_t, std::uint64_t> m;
+    };
+    using NMap = txn::BatchingMap<std::uint64_t, Inner,
+                                  ftree::NoAug<std::uint64_t, Inner>,
+                                  vm::PswfVersionManager>;
+    NMap map(1, {}, 1 << 8, 16);
+    ftree::FMap<std::uint64_t, std::uint64_t> proto;
+    for (std::uint64_t j = 0; j < 32; ++j) proto = proto.inserted(j, j);
+    for (std::uint64_t i = 0; i < 400; ++i) {
+      map.submit(0, txn::BatchOp::kUpsert, i % 40,
+                 Inner{proto.inserted(i, i)});
+    }
+    map.flush_all();
+    auto txn = map.read_txn(0);
+    EXPECT_EQ(txn.map().size(), 40u);
+  }
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+// ---------------------------------------------------------------------------
+// YCSB generator.
+
+TEST(TxnYcsb, ZipfRanksInRangeAndSkewed) {
+  const std::uint64_t n = 1000;
+  workload::ZipfGenerator zipf(n, 0.99);
+  Xoshiro256 rng(42);
+  constexpr int kSamples = 50000;
+  std::vector<std::uint64_t> counts(n, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t r = zipf.sample(rng);
+    ASSERT_LT(r, n);
+    ++counts[r];
+  }
+  // Rank 0 is far above the uniform expectation under theta=0.99 skew.
+  EXPECT_GT(counts[0], 10u * kSamples / n);
+  // And the head dominates: the top 10 ranks carry well over a quarter.
+  std::uint64_t head = 0;
+  for (int r = 0; r < 10; ++r) head += counts[r];
+  EXPECT_GT(head, kSamples / 4u);
+}
+
+TEST(TxnYcsb, StreamsAreDeterministicPerSeed) {
+  workload::ZipfGenerator zipf(500, 0.99);
+  workload::YcsbStream a(workload::kYcsbA, zipf, 7);
+  workload::YcsbStream b(workload::kYcsbA, zipf, 7);
+  workload::YcsbStream c(workload::kYcsbA, zipf, 8);
+  bool any_difference = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto oa = a.next();
+    const auto ob = b.next();
+    const auto oc = c.next();
+    EXPECT_EQ(oa.key, ob.key);
+    EXPECT_EQ(oa.type, ob.type);
+    any_difference |= (oa.key != oc.key || oa.type != oc.type);
+  }
+  EXPECT_TRUE(any_difference);  // distinct seeds give distinct streams
+}
+
+TEST(TxnYcsb, MixesMatchTheirSpecs) {
+  workload::ZipfGenerator zipf(1000, 0.99);
+  for (const auto& spec :
+       {workload::kYcsbA, workload::kYcsbB, workload::kYcsbC}) {
+    workload::YcsbStream stream(spec, zipf, 99);
+    constexpr int kOps = 20000;
+    int reads = 0;
+    for (int i = 0; i < kOps; ++i) {
+      const auto op = stream.next();
+      reads += op.type == workload::YcsbOp::kRead;
+      ASSERT_LT(op.key, 1000u);
+    }
+    const double frac = static_cast<double>(reads) / kOps;
+    EXPECT_NEAR(frac, spec.read_fraction, 0.02)
+        << "workload " << spec.name << " read mix off";
+  }
+}
+
+TEST(TxnYcsb, DatasetIsDeterministicAndCoversKeySpace) {
+  const auto d1 = workload::ycsb_dataset(1000);
+  const auto d2 = workload::ycsb_dataset(1000);
+  ASSERT_EQ(d1.size(), 1000u);
+  EXPECT_EQ(d1, d2);
+  for (std::uint64_t k = 0; k < d1.size(); ++k) EXPECT_EQ(d1[k].first, k);
+  const long long base_live = ftree::live_nodes();
+  {
+    auto m = PswfMap::Map::from_entries(workload::ycsb_dataset(1000));
+    EXPECT_EQ(m.size(), 1000u);
+  }
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+}  // namespace
