@@ -1,0 +1,182 @@
+// Lock-coupling B+tree baseline for Figure 7 ("b+tree").
+//
+// Per-node std::shared_mutex with classic crab latching: readers take
+// shared latches parent-then-child and release the parent as soon as the
+// child is held; writers take exclusive latches and split any full child
+// *before* descending into it (preemptive splits), which guarantees the
+// parent always has room for a separator and caps the writer's latch span
+// at parent + child + fresh sibling. A shared_mutex guarding the root
+// pointer plays the role of the latch "above the root" so root growth is
+// just one more crab step.
+//
+// No deletes (bench_fig7's YCSB mixes are upsert/find), so no merging or
+// rebalancing; the destructor frees the tree post-order.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+
+namespace mvcc::baselines {
+
+class BPlusTree {
+ public:
+  BPlusTree() : root_(new Node(/*leaf=*/true)) {}
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  ~BPlusTree() { destroy(root_); }
+
+  void upsert(std::uint64_t key, std::uint64_t value) {
+    std::unique_lock<std::shared_mutex> root_guard(root_mutex_);
+    if (full(root_)) grow_root();
+    Node* cur = root_;
+    cur->latch.lock();
+    root_guard.unlock();
+    while (!cur->leaf) {
+      int idx = route(cur, key);
+      Node* child = cur->child[idx];
+      child->latch.lock();
+      if (full(child)) {
+        split_child(cur, idx, child);
+        if (key >= cur->keys[idx]) {
+          child->latch.unlock();
+          child = cur->child[idx + 1];  // fresh sibling: only we can see it
+          child->latch.lock();
+        }
+      }
+      cur->latch.unlock();  // child is post-split safe: release the parent
+      cur = child;
+    }
+    leaf_upsert(cur, key, value);
+    cur->latch.unlock();
+  }
+
+  std::optional<std::uint64_t> find(std::uint64_t key) const {
+    std::shared_lock<std::shared_mutex> root_guard(root_mutex_);
+    const Node* cur = root_;
+    cur->latch.lock_shared();
+    root_guard.unlock();
+    while (!cur->leaf) {
+      const Node* child = cur->child[route(cur, key)];
+      child->latch.lock_shared();
+      cur->latch.unlock_shared();
+      cur = child;
+    }
+    std::optional<std::uint64_t> out;
+    for (int i = 0; i < cur->count; ++i) {
+      if (cur->keys[i] == key) {
+        out = cur->vals[i];
+        break;
+      }
+    }
+    cur->latch.unlock_shared();
+    return out;
+  }
+
+ private:
+  // An internal node holds count separators and count+1 children; child[i]
+  // covers keys in [keys[i-1], keys[i]). A leaf holds count key/value pairs.
+  static constexpr int kMaxKeys = 31;
+
+  struct Node {
+    mutable std::shared_mutex latch;
+    const bool leaf;
+    int count = 0;
+    std::uint64_t keys[kMaxKeys];
+    union {
+      Node* child[kMaxKeys + 1];
+      std::uint64_t vals[kMaxKeys];
+    };
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+  };
+
+  static bool full(const Node* n) { return n->count == kMaxKeys; }
+
+  static int route(const Node* n, std::uint64_t key) {
+    int i = 0;
+    while (i < n->count && key >= n->keys[i]) ++i;
+    return i;
+  }
+
+  // Caller holds root_mutex_ exclusively, which keeps root_ stable and the
+  // new root private until published — but a reader that crabbed past
+  // root_mutex_ earlier may still hold the old root's latch, so the old
+  // root is write-latched for the split.
+  void grow_root() {
+    Node* old = root_;
+    old->latch.lock();
+    Node* nr = new Node(/*leaf=*/false);
+    nr->child[0] = old;
+    split_child(nr, 0, old);
+    old->latch.unlock();
+    root_ = nr;
+  }
+
+  // parent (non-full) and child (full) are exclusively latched by the
+  // caller (or private to it, during grow_root). Splits child in half and
+  // threads the separator + new right sibling into parent at idx.
+  static void split_child(Node* parent, int idx, Node* child) {
+    Node* right = new Node(child->leaf);
+    std::uint64_t separator;
+    if (child->leaf) {
+      const int keep = child->count / 2;
+      right->count = child->count - keep;
+      for (int i = 0; i < right->count; ++i) {
+        right->keys[i] = child->keys[keep + i];
+        right->vals[i] = child->vals[keep + i];
+      }
+      child->count = keep;
+      separator = right->keys[0];
+    } else {
+      const int mid = child->count / 2;
+      separator = child->keys[mid];
+      right->count = child->count - mid - 1;
+      for (int i = 0; i < right->count; ++i) {
+        right->keys[i] = child->keys[mid + 1 + i];
+      }
+      for (int i = 0; i <= right->count; ++i) {
+        right->child[i] = child->child[mid + 1 + i];
+      }
+      child->count = mid;
+    }
+    for (int i = parent->count; i > idx; --i) {
+      parent->keys[i] = parent->keys[i - 1];
+      parent->child[i + 1] = parent->child[i];
+    }
+    parent->keys[idx] = separator;
+    parent->child[idx + 1] = right;
+    ++parent->count;
+  }
+
+  // Leaf is exclusively latched and non-full.
+  static void leaf_upsert(Node* leaf, std::uint64_t key, std::uint64_t value) {
+    int pos = 0;
+    while (pos < leaf->count && leaf->keys[pos] < key) ++pos;
+    if (pos < leaf->count && leaf->keys[pos] == key) {
+      leaf->vals[pos] = value;
+      return;
+    }
+    for (int i = leaf->count; i > pos; --i) {
+      leaf->keys[i] = leaf->keys[i - 1];
+      leaf->vals[i] = leaf->vals[i - 1];
+    }
+    leaf->keys[pos] = key;
+    leaf->vals[pos] = value;
+    ++leaf->count;
+  }
+
+  static void destroy(Node* n) {
+    if (!n->leaf) {
+      for (int i = 0; i <= n->count; ++i) destroy(n->child[i]);
+    }
+    delete n;
+  }
+
+  mutable std::shared_mutex root_mutex_;
+  Node* root_;
+};
+
+}  // namespace mvcc::baselines

@@ -1,0 +1,72 @@
+// Copy-on-write tree without batching — the "ours minus batching" ablation
+// of Figure 7 ("cow-nobatch", the OpenBW stand-in).
+//
+// Exactly the repo's functional tree (ftree::FMap), but driven the naive
+// way: every upsert takes a writer mutex, builds a fresh version with a
+// single-path inserted(), and publishes it by swapping a shared_ptr root.
+// Readers pin the current version by copying that shared_ptr under a brief
+// shared latch and then traverse entirely outside any lock; a version
+// stays alive (and its nodes unreclaimed) exactly while some reader still
+// holds the pin, after which the FMap destructor's precise collect frees
+// the version's private nodes — so ftree::live_nodes() returns to baseline
+// on destruction.
+//
+// The root swap uses a shared_mutex rather than std::atomic<shared_ptr>:
+// libstdc++'s _Sp_atomic unlocks its internal spin bit with a relaxed RMW,
+// which leaves the pointer read/write pair unordered in the formal memory
+// model and trips TSan (the Baselines CI tier runs under it).
+//
+// The contrast with the "ours" column is the point: same tree, but one
+// root-to-leaf path copied per update and one contended mutex, versus the
+// batching front-end's one multi_insert per drained batch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+
+#include "mvcc/ftree/fmap.h"
+
+namespace mvcc::baselines {
+
+class CowTreeNoBatch {
+ public:
+  using Map = ftree::FMap<std::uint64_t, std::uint64_t>;
+
+  CowTreeNoBatch() : root_(std::make_shared<const Map>()) {}
+
+  CowTreeNoBatch(const CowTreeNoBatch&) = delete;
+  CowTreeNoBatch& operator=(const CowTreeNoBatch&) = delete;
+
+  void upsert(std::uint64_t key, std::uint64_t value) {
+    std::lock_guard<std::mutex> guard(writer_mutex_);
+    // No other writer can swap root_ between the pin and the publish, so
+    // the new version is built from the latest one.
+    std::shared_ptr<const Map> next =
+        std::make_shared<const Map>(snapshot()->inserted(key, value));
+    std::unique_lock<std::shared_mutex> publish(root_latch_);
+    root_ = std::move(next);
+  }
+
+  std::optional<std::uint64_t> find(std::uint64_t key) const {
+    std::shared_ptr<const Map> snap = snapshot();
+    const std::uint64_t* v = snap->find(key);
+    if (v == nullptr) return std::nullopt;
+    return *v;
+  }
+
+  // The current version, pinned; the tree it names is immutable.
+  std::shared_ptr<const Map> snapshot() const {
+    std::shared_lock<std::shared_mutex> pin(root_latch_);
+    return root_;
+  }
+
+ private:
+  mutable std::shared_mutex root_latch_;
+  std::shared_ptr<const Map> root_;
+  std::mutex writer_mutex_;
+};
+
+}  // namespace mvcc::baselines

@@ -1,0 +1,235 @@
+// Lock-free external (leaf-oriented) BST baseline for Figure 7 ("ext-bst").
+//
+// Ellen et al. (PODC 2010) style: internal nodes route, leaves hold the
+// key/value pairs, and an insert replaces a leaf with a freshly built
+// internal node (old leaf + new leaf) via a flag-then-child-CAS protocol.
+// A thread that finds the parent flagged helps complete the pending insert
+// before retrying, so the structure is lock-free. bench_fig7's YCSB mixes
+// never delete, which trims the full protocol to its insert half (IFlag
+// only — DFlag/Mark exist to make deletion safe) and lets an upsert of a
+// present key write the leaf's atomic value in place.
+//
+// Reclamation is the quiescence scheme the deletion-free workload allows:
+// nothing is ever unlinked, so every node and Info record is pushed onto a
+// lock-free allocation list at creation and freed exactly once by the
+// destructor. CAS losers become garbage on that list rather than being
+// freed early, which also rules out ABA on the update word (Info records
+// are never reused while the tree is live).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "mvcc/common/rng.h"
+
+namespace mvcc::baselines {
+
+class ExternalBst {
+ public:
+  ExternalBst() {
+    // Ellen's sentinel shape: root key inf2 with leaves inf1 < inf2; every
+    // real key routes left of both sentinels.
+    Leaf* l1 = make<Leaf>(Key{0, 1}, 0);
+    Leaf* l2 = make<Leaf>(Key{0, 2}, 0);
+    root_ = make<Internal>(Key{0, 2}, l1, l2);
+  }
+
+  ExternalBst(const ExternalBst&) = delete;
+  ExternalBst& operator=(const ExternalBst&) = delete;
+
+  ~ExternalBst() {
+    for (AllocShard& shard : allocs_) {
+      Tracked* cur = shard.head.load(std::memory_order_acquire);
+      while (cur != nullptr) {
+        Tracked* next = cur->alloc_next;
+        delete cur;
+        cur = next;
+      }
+    }
+  }
+
+  void upsert(std::uint64_t k, std::uint64_t v) {
+    const Key key{splitmix64_mix(k), 0};
+    for (;;) {
+      SearchResult s = search(key);
+      if (equal(s.leaf->key, key)) {
+        static_cast<Leaf*>(s.leaf)->value.store(v, std::memory_order_release);
+        return;
+      }
+      if (state_of(s.pupdate) != kClean) {
+        help(s.pupdate);
+        continue;
+      }
+      Leaf* nl = make<Leaf>(key, v);
+      // New internal takes the old leaf's slot: smaller key left, larger
+      // right, routing key = the larger of the two.
+      Internal* ni = less(key, s.leaf->key)
+                         ? make<Internal>(s.leaf->key, nl, s.leaf)
+                         : make<Internal>(key, s.leaf, nl);
+      IInfo* op = make<IInfo>(s.parent, s.leaf, ni);
+      std::uintptr_t expected = s.pupdate;
+      if (s.parent->update.compare_exchange_strong(
+              expected, pack(op, kIFlag), std::memory_order_acq_rel,
+              std::memory_order_acquire)) {
+        help_insert(op);
+        return;
+      }
+      help(expected);  // losers' nl/ni/op stay on the alloc list
+    }
+  }
+
+  std::optional<std::uint64_t> find(std::uint64_t k) const {
+    const Key key{splitmix64_mix(k), 0};
+    const Node* cur = root_;
+    while (!cur->leaf) {
+      const Internal* in = static_cast<const Internal*>(cur);
+      cur = less(key, in->key) ? in->left.load(std::memory_order_acquire)
+                               : in->right.load(std::memory_order_acquire);
+    }
+    if (equal(cur->key, key)) {
+      return static_cast<const Leaf*>(cur)->value.load(
+          std::memory_order_acquire);
+    }
+    return std::nullopt;
+  }
+
+ private:
+  // Real keys carry inf 0; the two Ellen sentinels are inf 1 and inf 2, so
+  // every uint64_t (UINT64_MAX included) is an ordinary key. The tree does
+  // no rebalancing (the chromatic tree it stands in for rotates; Ellen's
+  // does not), so keys are ordered by their splitmix64 image — a bijection,
+  // preserving equality — which keeps the expected depth at O(log n) no
+  // matter the insertion order. The YCSB preload is ascending, which would
+  // otherwise build a linear path.
+  struct Key {
+    std::uint64_t k;
+    std::uint8_t inf;
+  };
+
+  static bool less(Key a, Key b) {
+    if (a.inf != b.inf) return a.inf < b.inf;
+    return a.inf == 0 && a.k < b.k;
+  }
+
+  static bool equal(Key a, Key b) {
+    return a.inf == b.inf && (a.inf != 0 || a.k == b.k);
+  }
+
+  // Everything allocated is linked onto allocs_ and owned by the
+  // destructor; the virtual dtor lets one list hold nodes and Info records.
+  struct Tracked {
+    Tracked* alloc_next = nullptr;
+    virtual ~Tracked() = default;
+  };
+
+  struct Node : Tracked {
+    const Key key;
+    const bool leaf;
+    Node(Key k, bool is_leaf) : key(k), leaf(is_leaf) {}
+  };
+
+  struct Leaf : Node {
+    std::atomic<std::uint64_t> value;
+    Leaf(Key k, std::uint64_t v) : Node(k, true), value(v) {}
+  };
+
+  struct Internal : Node {
+    // Low bits: state; rest: last IInfo* CASed in (kept after the unflag so
+    // the word never repeats — see the reclamation note above).
+    std::atomic<std::uintptr_t> update{0};
+    std::atomic<Node*> left;
+    std::atomic<Node*> right;
+    Internal(Key k, Node* l, Node* r) : Node(k, false), left(l), right(r) {}
+  };
+
+  struct IInfo : Tracked {
+    Internal* const parent;
+    Node* const old_leaf;
+    Internal* const replacement;
+    IInfo(Internal* p, Node* l, Internal* r)
+        : parent(p), old_leaf(l), replacement(r) {}
+  };
+
+  static constexpr std::uintptr_t kClean = 0;
+  static constexpr std::uintptr_t kIFlag = 1;
+  static constexpr std::uintptr_t kStateMask = 3;
+
+  static std::uintptr_t state_of(std::uintptr_t u) { return u & kStateMask; }
+  static IInfo* info_of(std::uintptr_t u) {
+    return reinterpret_cast<IInfo*>(u & ~kStateMask);
+  }
+  static std::uintptr_t pack(IInfo* op, std::uintptr_t state) {
+    return reinterpret_cast<std::uintptr_t>(op) | state;
+  }
+
+  struct SearchResult {
+    Internal* parent;
+    std::uintptr_t pupdate;  // parent's update word, read before the child
+    Node* leaf;
+  };
+
+  SearchResult search(Key key) const {
+    Internal* parent = nullptr;
+    std::uintptr_t pupdate = 0;
+    Node* cur = root_;
+    while (!cur->leaf) {
+      parent = static_cast<Internal*>(cur);
+      pupdate = parent->update.load(std::memory_order_acquire);
+      cur = less(key, parent->key)
+                ? parent->left.load(std::memory_order_acquire)
+                : parent->right.load(std::memory_order_acquire);
+    }
+    return {parent, pupdate, cur};
+  }
+
+  void help(std::uintptr_t u) {
+    if (state_of(u) == kIFlag) help_insert(info_of(u));
+  }
+
+  void help_insert(IInfo* op) {
+    // The old leaf's slot side is fixed by its own key (it lives in that
+    // subtree), so helpers need nothing beyond the Info record.
+    Internal* p = op->parent;
+    std::atomic<Node*>& slot =
+        less(op->old_leaf->key, p->key) ? p->left : p->right;
+    Node* expected = op->old_leaf;
+    slot.compare_exchange_strong(expected, op->replacement,
+                                 std::memory_order_acq_rel,
+                                 std::memory_order_relaxed);
+    std::uintptr_t flagged = pack(op, kIFlag);
+    p->update.compare_exchange_strong(flagged, pack(op, kClean),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed);
+  }
+
+  // The list head is sharded by thread so the bookkeeping push is not a
+  // cross-thread serialization point on the insert path being measured.
+  static constexpr std::size_t kAllocShards = 64;  // power of two
+
+  struct alignas(64) AllocShard {
+    std::atomic<Tracked*> head{nullptr};
+  };
+
+  template <class T, class... Args>
+  T* make(Args&&... args) {
+    thread_local const std::size_t slot =
+        static_cast<std::size_t>(splitmix64_mix(
+            reinterpret_cast<std::uintptr_t>(&slot))) &
+        (kAllocShards - 1);
+    T* t = new T(static_cast<Args&&>(args)...);
+    std::atomic<Tracked*>& head = allocs_[slot].head;
+    Tracked* cur = head.load(std::memory_order_relaxed);
+    do {
+      t->alloc_next = cur;
+    } while (!head.compare_exchange_weak(cur, t, std::memory_order_release,
+                                         std::memory_order_relaxed));
+    return t;
+  }
+
+  Internal* root_;
+  AllocShard allocs_[kAllocShards];
+};
+
+}  // namespace mvcc::baselines

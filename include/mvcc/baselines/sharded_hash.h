@@ -1,0 +1,97 @@
+// Sharded hash map baseline for Figure 7 ("hash", the Masstree stand-in).
+//
+// A fixed power-of-two bucket array (capacity is a constructor hint, as in
+// the YCSB setup where the key universe is known up front — no resizing)
+// with separate chaining, striped by a power-of-two set of shared_mutexes:
+// bucket i is guarded by stripe i & (kStripes - 1), so finds from
+// different stripes proceed fully in parallel and an upsert excludes only
+// its own stripe. Keys are pre-mixed through splitmix64 so adjacent YCSB
+// ranks spread across buckets.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <vector>
+
+#include "mvcc/common/rng.h"
+
+namespace mvcc::baselines {
+
+class ShardedHashMap {
+ public:
+  explicit ShardedHashMap(std::size_t capacity_hint = std::size_t{1} << 16)
+      : mask_(bucket_count_for(capacity_hint) - 1),
+        buckets_(mask_ + 1, nullptr),
+        stripes_(kStripes) {}
+
+  ShardedHashMap(const ShardedHashMap&) = delete;
+  ShardedHashMap& operator=(const ShardedHashMap&) = delete;
+
+  ~ShardedHashMap() {
+    for (Entry* head : buckets_) {
+      while (head != nullptr) {
+        Entry* next = head->next;
+        delete head;
+        head = next;
+      }
+    }
+  }
+
+  void upsert(std::uint64_t key, std::uint64_t value) {
+    const std::size_t b = bucket_of(key);
+    std::unique_lock<std::shared_mutex> guard(stripe_of(b));
+    for (Entry* e = buckets_[b]; e != nullptr; e = e->next) {
+      if (e->key == key) {
+        e->value = value;
+        return;
+      }
+    }
+    buckets_[b] = new Entry{key, value, buckets_[b]};
+  }
+
+  std::optional<std::uint64_t> find(std::uint64_t key) const {
+    const std::size_t b = bucket_of(key);
+    std::shared_lock<std::shared_mutex> guard(stripe_of(b));
+    for (const Entry* e = buckets_[b]; e != nullptr; e = e->next) {
+      if (e->key == key) return e->value;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    std::uint64_t value;
+    Entry* next;
+  };
+
+  // Stripes are padded to a cache line so unrelated lock traffic does not
+  // false-share.
+  struct alignas(64) Stripe {
+    std::shared_mutex m;
+  };
+
+  static constexpr std::size_t kStripes = 1024;  // power of two
+
+  static std::size_t bucket_count_for(std::size_t hint) {
+    std::size_t n = 64;
+    while (n < hint) n <<= 1;
+    return n;
+  }
+
+  std::size_t bucket_of(std::uint64_t key) const {
+    return static_cast<std::size_t>(splitmix64_mix(key)) & mask_;
+  }
+
+  std::shared_mutex& stripe_of(std::size_t bucket) const {
+    return stripes_[bucket & (kStripes - 1)].m;
+  }
+
+  const std::size_t mask_;
+  std::vector<Entry*> buckets_;
+  mutable std::vector<Stripe> stripes_;
+};
+
+}  // namespace mvcc::baselines

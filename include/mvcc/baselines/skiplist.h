@@ -1,0 +1,148 @@
+// Lock-free skiplist baseline for the Figure 7 comparison ("skiplist").
+//
+// Herlihy–Shavit CAS towers with randomized geometric heights. The YCSB
+// mixes bench_fig7 drives are upsert/find only — no deletes — so the
+// structure is insert-only: an upsert on a present key updates the node's
+// value in place through an atomic, and no node is ever unlinked. That
+// removes the need for marking (marks exist to make deletion safe) and
+// makes reclamation a pure quiescence scheme: every node stays reachable
+// from the head tower until the destructor walks level 0 and frees the
+// lot, so the structure is ASan-clean with no epochs or hazard pointers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "mvcc/common/rng.h"
+
+namespace mvcc::baselines {
+
+class LockFreeSkipList {
+ public:
+  // Herlihy–Shavit's cap: geometric(1/2) towers serve ~2^32 keys before
+  // the top level degenerates into a linear scan (paper scale is 5e7).
+  static constexpr int kMaxHeight = 32;
+
+  LockFreeSkipList() : head_(new Node(0, 0, kMaxHeight)) {}
+
+  LockFreeSkipList(const LockFreeSkipList&) = delete;
+  LockFreeSkipList& operator=(const LockFreeSkipList&) = delete;
+
+  ~LockFreeSkipList() {
+    Node* cur = head_;
+    while (cur != nullptr) {
+      Node* next = cur->next[0].load(std::memory_order_relaxed);
+      delete cur;
+      cur = next;
+    }
+  }
+
+  // Insert-or-replace. Lock-free: a failed level-0 CAS means another thread
+  // changed the neighborhood, and the retry either finds the key present
+  // (in-place value store) or fresh pred/succ windows.
+  void upsert(std::uint64_t key, std::uint64_t value) {
+    Node* preds[kMaxHeight];
+    Node* succs[kMaxHeight];
+    for (;;) {
+      if (Node* hit = find_window(key, preds, succs)) {
+        hit->value.store(value, std::memory_order_release);
+        return;
+      }
+      const int height = random_height();
+      Node* n = new Node(key, value, height);
+      for (int lvl = 0; lvl < height; ++lvl) {
+        n->next[lvl].store(succs[lvl], std::memory_order_relaxed);
+      }
+      Node* expected = succs[0];
+      if (!preds[0]->next[0].compare_exchange_strong(
+              expected, n, std::memory_order_release,
+              std::memory_order_relaxed)) {
+        delete n;  // never published: safe to free immediately
+        continue;
+      }
+      // Link the upper levels. The node is already in the list (level 0 is
+      // the linearization point); each level link retries independently.
+      for (int lvl = 1; lvl < height; ++lvl) {
+        for (;;) {
+          Node* succ = succs[lvl];
+          n->next[lvl].store(succ, std::memory_order_relaxed);
+          if (preds[lvl]->next[lvl].compare_exchange_strong(
+                  succ, n, std::memory_order_release,
+                  std::memory_order_relaxed)) {
+            break;
+          }
+          find_window(key, preds, succs);
+        }
+      }
+      return;
+    }
+  }
+
+  std::optional<std::uint64_t> find(std::uint64_t key) const {
+    const Node* pred = head_;
+    for (int lvl = kMaxHeight - 1; lvl >= 0; --lvl) {
+      const Node* cur = pred->next[lvl].load(std::memory_order_acquire);
+      while (cur != nullptr && cur->key < key) {
+        pred = cur;
+        cur = cur->next[lvl].load(std::memory_order_acquire);
+      }
+      if (cur != nullptr && cur->key == key) {
+        return cur->value.load(std::memory_order_acquire);
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  struct Node {
+    const std::uint64_t key;
+    std::atomic<std::uint64_t> value;
+    const int height;
+    std::unique_ptr<std::atomic<Node*>[]> next;
+
+    Node(std::uint64_t k, std::uint64_t v, int h)
+        : key(k), value(v), height(h), next(new std::atomic<Node*>[h]) {
+      for (int i = 0; i < h; ++i) {
+        next[i].store(nullptr, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  // Fills preds/succs with the per-level insertion window for `key` and
+  // returns the node holding `key` if one exists (succs[0] in that case).
+  Node* find_window(std::uint64_t key, Node** preds, Node** succs) const {
+    Node* pred = head_;
+    for (int lvl = kMaxHeight - 1; lvl >= 0; --lvl) {
+      Node* cur = pred->next[lvl].load(std::memory_order_acquire);
+      while (cur != nullptr && cur->key < key) {
+        pred = cur;
+        cur = pred->next[lvl].load(std::memory_order_acquire);
+      }
+      preds[lvl] = pred;
+      succs[lvl] = cur;
+    }
+    return (succs[0] != nullptr && succs[0]->key == key) ? succs[0] : nullptr;
+  }
+
+  // Geometric(1/2) tower height, capped. Per-thread generator seeded from a
+  // process-wide counter so threads draw decorrelated streams.
+  static int random_height() {
+    static std::atomic<std::uint64_t> seed_source{0x51ee7ULL};
+    thread_local Xoshiro256 rng(
+        splitmix64_mix(seed_source.fetch_add(0x9e3779b97f4a7c15ULL,
+                                             std::memory_order_relaxed)));
+    int h = 1;
+    std::uint64_t bits = rng();
+    while (h < kMaxHeight && (bits & 1)) {
+      ++h;
+      bits >>= 1;
+    }
+    return h;
+  }
+
+  Node* const head_;  // full-height sentinel; its key is never compared
+};
+
+}  // namespace mvcc::baselines
