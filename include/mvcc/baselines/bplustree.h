@@ -31,9 +31,22 @@ class BPlusTree {
 
   void upsert(std::uint64_t key, std::uint64_t value) {
     std::unique_lock<std::shared_mutex> root_guard(root_mutex_);
-    if (full(root_)) grow_root();
     Node* cur = root_;
     cur->latch.lock();
+    // Check fullness only once the root's latch is held: a writer that
+    // crabbed past root_mutex_ earlier may still be splitting a child into
+    // the root, so an unlatched read of count races and can go stale.
+    if (full(cur)) {
+      Node* nr = new Node(/*leaf=*/false);
+      nr->child[0] = cur;
+      split_child(nr, 0, cur);
+      root_ = nr;  // private until root_guard is released; no latch needed
+      if (key >= nr->keys[0]) {
+        cur->latch.unlock();
+        cur = nr->child[1];  // fresh sibling: only we can see it
+        cur->latch.lock();
+      }
+    }
     root_guard.unlock();
     while (!cur->leaf) {
       int idx = route(cur, key);
@@ -101,22 +114,8 @@ class BPlusTree {
     return i;
   }
 
-  // Caller holds root_mutex_ exclusively, which keeps root_ stable and the
-  // new root private until published — but a reader that crabbed past
-  // root_mutex_ earlier may still hold the old root's latch, so the old
-  // root is write-latched for the split.
-  void grow_root() {
-    Node* old = root_;
-    old->latch.lock();
-    Node* nr = new Node(/*leaf=*/false);
-    nr->child[0] = old;
-    split_child(nr, 0, old);
-    old->latch.unlock();
-    root_ = nr;
-  }
-
   // parent (non-full) and child (full) are exclusively latched by the
-  // caller (or private to it, during grow_root). Splits child in half and
+  // caller (or private to it, during root growth). Splits child in half and
   // threads the separator + new right sibling into parent at idx.
   static void split_child(Node* parent, int idx, Node* child) {
     Node* right = new Node(child->leaf);

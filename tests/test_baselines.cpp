@@ -248,6 +248,49 @@ TYPED_TEST(BaselinesStress, SingleWriterMonotonicReads) {
   EXPECT_EQ(*m.find(kKey), kWrites);
 }
 
+// Regression for a B+tree root race: the root-fullness check must happen
+// under the root node's latch, not just root_mutex_, or a writer already
+// past the root can split a child into it between check and descent and
+// the stale not-full verdict later overflows the node. Root growth only
+// happens a handful of times per tree, so hammer many fresh trees through
+// their growth windows with all writers in flight from key one.
+TYPED_TEST(BaselinesStress, ConcurrentWritersThroughRootGrowth) {
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 1500;
+  for (int round = 0; round < 8; ++round) {
+    TypeParam m;
+    std::atomic<int> start{0};
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWriters; ++w) {
+      threads.emplace_back([&, w] {
+        start.fetch_add(1);
+        while (start.load() < kWriters) {  // maximize overlap at tree birth
+        }
+        Xoshiro256 rng(9000 + static_cast<std::uint64_t>(round) * kWriters +
+                       static_cast<std::uint64_t>(w));
+        for (int i = 0; i < kPerWriter; ++i) {
+          const std::uint64_t key = rng();  // spread keys: splits everywhere
+          m.upsert(key, key ^ 0xabcd);
+          if ((i & 63) == 0) {
+            auto got = m.find(key);
+            ASSERT_TRUE(got.has_value());
+            EXPECT_EQ(*got, key ^ 0xabcd);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    // Replay one writer's stream: every key must be present and intact.
+    Xoshiro256 replay(9000 + static_cast<std::uint64_t>(round) * kWriters);
+    for (int i = 0; i < kPerWriter; ++i) {
+      const std::uint64_t key = replay();
+      auto got = m.find(key);
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got, key ^ 0xabcd);
+    }
+  }
+}
+
 // Destruction after multi-threaded churn must free every allocation —
 // meaningful under the ASan job, where any leaked node/tower/Info record
 // fails the binary.
