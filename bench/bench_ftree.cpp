@@ -4,6 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "mvcc/common/rng.h"
@@ -93,6 +95,43 @@ void BM_TreeMultiInsertVsLoop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch.size()));
 }
 
+void BM_TreeBulkUnionThreads(benchmark::State& state) {
+  // Fork-join scaling of the bulk union: the same corpus/delta union with
+  // an explicit worker budget. The /1 rows are the sequential baseline the
+  // speedup at /2, /4... is measured against (the result tree is
+  // bit-identical at every worker count).
+  const std::int64_t n = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  SumMap a = make_random(n, 21);
+  SumMap b = make_random(n / 4, 22);
+  for (auto _ : state) {
+    SumMap u = a.union_with(b, threads);
+    benchmark::DoNotOptimize(u.size());
+  }
+  state.SetItemsProcessed(state.iterations() * (n / 4));
+}
+
+void BM_TreeBuildSortedThreads(benchmark::State& state) {
+  // Fork-join scaling of build_sorted (the batch-tree half of
+  // multi_insert).
+  const std::int64_t n = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+  entries.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    entries.emplace_back(static_cast<std::uint64_t>(i) * 2, 1);
+  }
+  const std::span<const std::pair<std::uint64_t, std::uint64_t>> sp(entries);
+  using Aug = ftree::AugSum<std::uint64_t, std::uint64_t>;
+  for (auto _ : state) {
+    auto* t =
+        ftree::build_sorted<std::uint64_t, std::uint64_t, Aug>(sp, threads);
+    benchmark::DoNotOptimize(ftree::weight_of(t));
+    ftree::collect(t);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
 }  // namespace
 
 BENCHMARK(BM_TreeInsert)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
@@ -101,5 +140,16 @@ BENCHMARK(BM_TreeRangeSum)->Arg(1 << 14)->Arg(1 << 18);
 BENCHMARK(BM_TreeUnion)->Arg(1 << 14)->Arg(1 << 17);
 BENCHMARK(BM_TreeMultiInsert)->Arg(1 << 14)->Arg(1 << 17);
 BENCHMARK(BM_TreeMultiInsertVsLoop)->Arg(1 << 14)->Arg(1 << 17);
+BENCHMARK(BM_TreeBulkUnionThreads)
+    ->Args({1 << 18, 1})
+    ->Args({1 << 18, 2})
+    ->Args({1 << 18, 4})
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 2})
+    ->Args({1 << 20, 4});
+BENCHMARK(BM_TreeBuildSortedThreads)
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 2})
+    ->Args({1 << 20, 4});
 
 BENCHMARK_MAIN();

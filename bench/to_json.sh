@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# Turns the smoke-run tables of bench_fig7 and bench_table3 into one flat
+# machine-readable JSON object (metric name -> number), so every CI run
+# archives a comparable perf record (bench-smoke.json) and the trajectory
+# of the repo's throughput can be graphed across commits.
+#
+# Usage: to_json.sh fig7-smoke.txt table3-smoke.txt > bench-smoke.json
+#
+# Emitted keys:
+#   fig7/<workload>/<structure>_mops   YCSB throughput, Mop/s
+#   table3/p<N>/<column>_s             inverted-index phase times, seconds
+#                                      (Tu+Tq -> TuplusTq, Tu+q -> Tuplusq)
+set -eu
+
+fig7="${1:-fig7-smoke.txt}"
+table3="${2:-table3-smoke.txt}"
+
+{
+  awk '
+    $1 == "workload" { for (i = 2; i <= NF; i++) col[i] = $i; have = 1; next }
+    have && ($1 == "A" || $1 == "B" || $1 == "C") {
+      for (i = 2; i <= NF; i++) {
+        printf "fig7/%s/%s_mops=%s\n", $1, col[i], $i
+      }
+    }
+  ' "$fig7"
+  awk '
+    $1 == "p" { for (i = 2; i <= NF; i++) col[i] = $i; have = 1; next }
+    have && $1 ~ /^[0-9]+$/ {
+      for (i = 2; i <= NF; i++) {
+        name = col[i]
+        gsub(/\+/, "plus", name)
+        printf "table3/p%s/%s_s=%s\n", $1, name, $i
+      }
+    }
+  ' "$table3"
+} | awk -F= '
+  BEGIN { print "{" }
+  { rows[++n] = sprintf("  \"%s\": %s", $1, $2) }
+  END {
+    for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], i < n ? "," : ""
+    print "}"
+  }
+'

@@ -60,15 +60,19 @@ class FMap {
   }
 
   // A new version with every entry of `other` applied over this one
-  // (other's values win on duplicate keys). O(m log(n/m + 1)).
-  FMap union_with(const FMap& other) const {
-    return FMap(union_(ftree::share(root_), ftree::share(other.root_)));
+  // (other's values win on duplicate keys). O(m log(n/m + 1)) work, forked
+  // across `threads` workers (0 = env_threads(), 1 = sequential); the
+  // result is identical for every worker count.
+  FMap union_with(const FMap& other, int threads = 0) const {
+    return FMap(
+        union_(ftree::share(root_), ftree::share(other.root_), threads));
   }
 
   // A new version with a prepared (see prepare_batch) batch applied in one
-  // bulk join-based operation. O(m log(n/m + 1)).
-  FMap multi_inserted(std::span<const Entry> batch) const {
-    return FMap(multi_insert(ftree::share(root_), batch));
+  // bulk join-based operation. O(m log(n/m + 1)) work, forked across
+  // `threads` workers (0 = env_threads()).
+  FMap multi_inserted(std::span<const Entry> batch, int threads = 0) const {
+    return FMap(multi_insert(ftree::share(root_), batch, threads));
   }
 
   // Read-only lookup; the pointer is valid while any version holding the
@@ -87,8 +91,22 @@ class FMap {
   std::vector<Entry> to_vector() const {
     std::vector<Entry> out;
     out.reserve(size());
-    for_each(root_, [&out](const K& k, const V& v) { out.emplace_back(k, v); });
+    ftree::for_each(root_,
+                    [&out](const K& k, const V& v) { out.emplace_back(k, v); });
     return out;
+  }
+
+  // In-order traversal: f(key, value) for every entry.
+  template <class F>
+  void for_each(F&& f) const {
+    ftree::for_each(root_, f);
+  }
+
+  // In-order traversal with early exit: f returns false to stop. Returns
+  // whether the traversal ran to completion.
+  template <class F>
+  bool for_each_while(F&& f) const {
+    return ftree::for_each_while(root_, f);
   }
 
   // The underlying version root; read-only, for tests and diagnostics.

@@ -14,9 +14,12 @@
 // Ownership protocol: a Node* is an owned reference. Every function taking
 // Node* by value CONSUMES that reference (the functional analogue of move
 // semantics); call `share` first to keep using a tree afterwards. Functions
-// taking const Node* only read. Reference counts are atomic so later PRs
-// can snapshot versions across threads; structural updates themselves are
-// single-mutator.
+// taking const Node* only read. Reference counts are atomic: snapshot
+// holders may share/collect versions from any thread concurrently with the
+// (externally serialized) mutator, and the bulk operations (`union_`,
+// `multi_insert`, `build_sorted`) fork their independent recursive calls
+// across worker threads (MVCC_THREADS) — each worker consumes a disjoint
+// set of owned references, so the counts stay exact.
 #pragma once
 
 #include <algorithm>
@@ -24,9 +27,12 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <future>
 #include <span>
 #include <utility>
 #include <vector>
+
+#include "mvcc/common/env.h"
 
 namespace mvcc::ftree {
 
@@ -162,6 +168,8 @@ std::size_t collect(Node<K, V, A>* t) {
 // hands the caller owned references to both children, and releases `t`.
 // When the caller holds the only reference the children's counts are stolen
 // rather than bumped, so hot single-version paths touch each count once.
+// (Observing refs == 1 is stable: we hold a reference, so it is ours, and
+// no other thread can legitimately share or drop a node it doesn't own.)
 template <class K, class V, class A>
 inline void expose(Node<K, V, A>* t, Node<K, V, A>** l, Node<K, V, A>** r,
                    K* k, V* v) {
@@ -174,9 +182,27 @@ inline void expose(Node<K, V, A>* t, Node<K, V, A>** l, Node<K, V, A>** r,
     delete t;
     g_live_nodes.fetch_sub(1, std::memory_order_relaxed);
   } else {
+    // Shared with other versions: bump the children BEFORE dropping t (we
+    // still own t, so its child references pin them), then check whether
+    // our drop turned out to be the last — a concurrent collect of another
+    // version sharing t may have released its reference between our load
+    // above and the fetch_sub below. Ignoring that result would leak t and
+    // strand one count on each child.
     *l = share(t->left);
     *r = share(t->right);
-    t->refs.fetch_sub(1, std::memory_order_acq_rel);
+    if (t->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // We were the last owner after all. Free t, dropping its child
+      // references — which cannot hit zero, because the shares above are
+      // ours and still outstanding.
+      if (t->left != nullptr) {
+        t->left->refs.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      if (t->right != nullptr) {
+        t->right->refs.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      delete t;
+      g_live_nodes.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -287,11 +313,27 @@ SplitResult<K, V, A> split(Node<K, V, A>* t, const K& k) {
   return {l, r, true, tv};
 }
 
-// Union of two versions; on duplicate keys the entry from `b` wins (so
-// unioning a delta over a corpus applies the delta). Consumes both.
-// O(m log(n/m + 1)) for |b| = m <= n = |a| — the join-tree bound.
+// Fork-join granularity for the bulk operations: a recursive subproblem
+// below this many nodes of work stays sequential, so the spawn cost is
+// always amortized over thousands of node visits.
+inline constexpr std::uint64_t kBulkGrain = 2048;
+
+namespace detail {
+
+// Resolves a caller-supplied worker budget: positive means exactly that
+// many workers, zero (the default) means env_threads() (MVCC_THREADS).
+inline int bulk_budget(int threads) {
+  return threads > 0 ? threads : env_threads();
+}
+
+// Recursive core of union_ with a fork-join worker budget. The two
+// subproblems operate on key-disjoint trees (a split partitions by key and
+// these are search trees, so no node is reachable from both sides), hence
+// each branch consumes its own set of owned references and the forked task
+// never touches the caller's. The result is identical for every budget:
+// the computation DAG does not depend on execution order.
 template <class K, class V, class A>
-Node<K, V, A>* union_(Node<K, V, A>* a, Node<K, V, A>* b) {
+Node<K, V, A>* union_rec(Node<K, V, A>* a, Node<K, V, A>* b, int budget) {
   if (a == nullptr) return b;
   if (b == nullptr) return a;
   Node<K, V, A>*bl, *br;
@@ -299,17 +341,89 @@ Node<K, V, A>* union_(Node<K, V, A>* a, Node<K, V, A>* b) {
   V bv;
   expose(b, &bl, &br, &bk, &bv);
   SplitResult<K, V, A> s = split(a, bk);
-  return join(union_(s.left, bl), bk, bv, union_(s.right, br));
+  if (budget > 1 &&
+      std::min(weight_of(s.left) + weight_of(bl),
+               weight_of(s.right) + weight_of(br)) >= kBulkGrain) {
+    const int lb = budget / 2;
+    const int rb = budget - lb;
+    auto task = [l = s.left, bl, lb] { return union_rec(l, bl, lb); };
+    std::future<Node<K, V, A>*> left;
+    try {
+      left = std::async(std::launch::async, task);
+    } catch (const std::system_error&) {
+      // Spawn failed (thread limits): run this level sequentially —
+      // dropping the task would leak its owned references.
+      return join(task(), bk, bv, union_rec(s.right, br, rb));
+    }
+    Node<K, V, A>* r = union_rec(s.right, br, rb);
+    return join(left.get(), bk, bv, r);
+  }
+  // Below the grain on one side (or out of budget): recurse in place. The
+  // budget is passed through so a lopsided split can still fork deeper
+  // down; the calls run one after the other, so concurrency never exceeds
+  // the budget.
+  return join(union_rec(s.left, bl, budget), bk, bv,
+              union_rec(s.right, br, budget));
 }
 
-// Builds a perfectly balanced tree over strictly increasing entries. O(n).
+// Recursive core of build_sorted with a fork-join worker budget; the two
+// halves of the span are disjoint, so the same ownership argument applies.
 template <class K, class V, class A>
-Node<K, V, A>* build_sorted(std::span<const std::pair<K, V>> entries) {
+Node<K, V, A>* build_sorted_rec(std::span<const std::pair<K, V>> entries,
+                                int budget) {
   if (entries.empty()) return nullptr;
   const std::size_t mid = entries.size() / 2;
-  return make_node<K, V, A>(entries[mid].first, entries[mid].second,
-                            build_sorted<K, V, A>(entries.first(mid)),
-                            build_sorted<K, V, A>(entries.subspan(mid + 1)));
+  if (budget > 1 && entries.size() >= 2 * kBulkGrain) {
+    const int lb = budget / 2;
+    const int rb = budget - lb;
+    auto task = [e = entries.first(mid), lb] {
+      return build_sorted_rec<K, V, A>(e, lb);
+    };
+    std::future<Node<K, V, A>*> left;
+    try {
+      left = std::async(std::launch::async, task);
+    } catch (const std::system_error&) {
+      return make_node<K, V, A>(
+          entries[mid].first, entries[mid].second, task(),
+          build_sorted_rec<K, V, A>(entries.subspan(mid + 1), rb));
+    }
+    Node<K, V, A>* r = build_sorted_rec<K, V, A>(entries.subspan(mid + 1), rb);
+    return make_node<K, V, A>(entries[mid].first, entries[mid].second,
+                              left.get(), r);
+  }
+  return make_node<K, V, A>(
+      entries[mid].first, entries[mid].second,
+      build_sorted_rec<K, V, A>(entries.first(mid), budget),
+      build_sorted_rec<K, V, A>(entries.subspan(mid + 1), budget));
+}
+
+}  // namespace detail
+
+// Union of two versions; on duplicate keys the entry from `b` wins (so
+// unioning a delta over a corpus applies the delta). Consumes both.
+// O(m log(n/m + 1)) work for |b| = m <= n = |a| — the join-tree bound.
+// The independent recursive calls are forked across `threads` workers
+// (0 = env_threads()) above the kBulkGrain cutoff; the resulting tree is
+// bit-identical for every worker count. Inputs too small to ever fork
+// skip the worker-count resolution entirely, so small unions stay free
+// of getenv/sysconf traffic.
+template <class K, class V, class A>
+Node<K, V, A>* union_(Node<K, V, A>* a, Node<K, V, A>* b, int threads = 0) {
+  const int budget = weight_of(a) + weight_of(b) >= 2 * kBulkGrain
+                         ? detail::bulk_budget(threads)
+                         : 1;
+  return detail::union_rec(a, b, budget);
+}
+
+// Builds a perfectly balanced tree over strictly increasing entries. O(n)
+// work, forked across `threads` workers (0 = env_threads()).
+template <class K, class V, class A>
+Node<K, V, A>* build_sorted(std::span<const std::pair<K, V>> entries,
+                            int threads = 0) {
+  const int budget = entries.size() >= 2 * kBulkGrain
+                         ? detail::bulk_budget(threads)
+                         : 1;
+  return detail::build_sorted_rec<K, V, A>(entries, budget);
 }
 
 // Sorts a batch by key and keeps only the last entry per key, the form
@@ -332,11 +446,17 @@ void prepare_batch(std::vector<std::pair<K, V>>& batch) {
 }
 
 // Applies a prepared (sorted, deduplicated) batch in one bulk operation:
-// build a tree over the batch, then union it over `t`. Consumes `t`.
+// build a tree over the batch, then union it over `t`. Consumes `t`. Both
+// phases fork across `threads` workers (0 = env_threads()).
 template <class K, class V, class A>
 Node<K, V, A>* multi_insert(Node<K, V, A>* t,
-                            std::span<const std::pair<K, V>> batch) {
-  return union_(t, build_sorted<K, V, A>(batch));
+                            std::span<const std::pair<K, V>> batch,
+                            int threads = 0) {
+  const int budget = weight_of(t) + batch.size() >= 2 * kBulkGrain
+                         ? detail::bulk_budget(threads)
+                         : 1;
+  return detail::union_rec(
+      t, detail::build_sorted_rec<K, V, A>(batch, budget), budget);
 }
 
 // Read-only point lookup; returns null when absent.
@@ -390,6 +510,17 @@ void for_each(const Node<K, V, A>* t, F&& f) {
   for_each(t->left, f);
   f(t->key, t->val);
   for_each(t->right, f);
+}
+
+// In-order traversal with early exit: f(key, value) returns false to stop.
+// Returns whether the traversal ran to completion. Powers bounded scans
+// like the inverted index's limit-k intersection.
+template <class K, class V, class A, class F>
+bool for_each_while(const Node<K, V, A>* t, F&& f) {
+  if (t == nullptr) return true;
+  if (!for_each_while(t->left, f)) return false;
+  if (!f(t->key, t->val)) return false;
+  return for_each_while(t->right, f);
 }
 
 }  // namespace mvcc::ftree

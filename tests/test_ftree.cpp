@@ -1,11 +1,16 @@
 // Tests for the raw functional-tree node layer: AVL balance bound, exact
-// reference counting (live-node counter returns to zero), and precision of
-// collect across shared versions.
+// reference counting (live-node counter returns to zero), precision of
+// collect across shared versions, and the fork-join parallel bulk ops
+// (bit-identical results and exact refcounts at every worker count).
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdint>
 #include <map>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "mvcc/common/rng.h"
@@ -241,6 +246,168 @@ TEST(Ftree, MultiInsertMatchesLoop) {
   expect_balanced(u);
   expect_matches(u, want);
   ftree::collect(u);
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+// Structural (bit-for-bit) equality: same keys, values, shape and cached
+// height/weight in every node. This is the contract of the parallel bulk
+// ops — the worker count must not change the resulting tree at all.
+void expect_identical(const N* x, const N* y) {
+  ASSERT_EQ(x == nullptr, y == nullptr);
+  if (x == nullptr) return;
+  EXPECT_EQ(x->key, y->key);
+  EXPECT_EQ(x->val, y->val);
+  EXPECT_EQ(x->height, y->height);
+  EXPECT_EQ(x->weight, y->weight);
+  expect_identical(x->left, y->left);
+  expect_identical(x->right, y->right);
+}
+
+N* make_random_tree(Xoshiro256& rng, int n, std::uint64_t key_space) {
+  N* t = nullptr;
+  for (int i = 0; i < n; ++i) {
+    t = ftree::insert(t, rng.next_below(key_space), rng());
+  }
+  return t;
+}
+
+TEST(Ftree, ParallelUnionBitIdenticalToSequential) {
+  const long long base_live = ftree::live_nodes();
+  {
+    Xoshiro256 rng(23);
+    N* a = make_random_tree(rng, 20000, std::uint64_t{1} << 40);
+    N* b = make_random_tree(rng, 6000, std::uint64_t{1} << 40);
+    N* seq = ftree::union_(ftree::share(a), ftree::share(b), 1);
+    expect_balanced(seq);
+    for (int threads : {2, 4, 8}) {
+      N* par = ftree::union_(ftree::share(a), ftree::share(b), threads);
+      expect_identical(seq, par);
+      ftree::collect(par);
+    }
+    ftree::collect(seq);
+    ftree::collect(a);
+    ftree::collect(b);
+  }
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+TEST(Ftree, ParallelBuildSortedAndMultiInsertBitIdentical) {
+  const long long base_live = ftree::live_nodes();
+  {
+    Xoshiro256 rng(29);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> batch;
+    for (int i = 0; i < 10000; ++i) batch.emplace_back(rng(), rng());
+    ftree::prepare_batch(batch);
+    const std::span<const std::pair<std::uint64_t, std::uint64_t>> sp(batch);
+
+    using Aug = ftree::NoAug<std::uint64_t, std::uint64_t>;
+    N* seq = ftree::build_sorted<std::uint64_t, std::uint64_t, Aug>(sp, 1);
+    N* par = ftree::build_sorted<std::uint64_t, std::uint64_t, Aug>(sp, 4);
+    expect_identical(seq, par);
+    ftree::collect(par);
+
+    N* t = make_random_tree(rng, 30000, std::uint64_t{1} << 40);
+    N* mseq = ftree::multi_insert(ftree::share(t), sp, 1);
+    N* mpar = ftree::multi_insert(ftree::share(t), sp, 4);
+    expect_identical(mseq, mpar);
+    expect_balanced(mseq);
+    ftree::collect(mseq);
+    ftree::collect(mpar);
+    ftree::collect(t);
+    ftree::collect(seq);
+  }
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+TEST(Ftree, ParallelUnionRefcountsExactWithSharedInputs) {
+  // Parallel unions over inputs shared with live versions: the forked
+  // workers consume disjoint owned references, so the counts stay exact —
+  // the survivors keep their content and the counter returns to baseline.
+  const long long base_live = ftree::live_nodes();
+  {
+    Xoshiro256 rng(31);
+    std::map<std::uint64_t, std::uint64_t> want_a;
+    N* a = nullptr;
+    for (int i = 0; i < 20000; ++i) {
+      const std::uint64_t k = rng.next_below(std::uint64_t{1} << 40);
+      const std::uint64_t v = rng();
+      a = ftree::insert(a, k, v);
+      want_a[k] = v;
+    }
+    N* b = make_random_tree(rng, 8000, std::uint64_t{1} << 40);
+    for (int round = 0; round < 4; ++round) {
+      N* u1 = ftree::union_(ftree::share(a), ftree::share(b), 4);
+      N* u2 = ftree::union_(ftree::share(a), ftree::share(b), 4);
+      expect_identical(u1, u2);
+      ftree::collect(u1);
+      ftree::collect(u2);
+    }
+    expect_matches(a, want_a);  // survivor untouched by the parallel runs
+    expect_balanced(a);
+    ftree::collect(a);
+    ftree::collect(b);
+  }
+  EXPECT_EQ(ftree::live_nodes(), base_live);
+}
+
+// Exactness canary for the expose/collect interleaving the version layers
+// rely on: a writer unions deltas over the current version while OTHER
+// threads collect retired versions whose trees share nodes with the one
+// being exposed. expose must not ignore the result of its decrement — if a
+// concurrent collect releases the second-to-last reference between
+// expose's load and its fetch_sub, expose now holds the last one, and
+// dropping it blindly would leak the node and strand a count on each
+// child. The counter returning to baseline proves no interleaving did.
+TEST(Ftree, ExposeExactUnderConcurrentVersionChurn) {
+  const long long base_live = ftree::live_nodes();
+  {
+    Xoshiro256 seed_rng(37);
+    N* cur = nullptr;
+    for (int i = 0; i < 8000; ++i) {
+      cur = ftree::insert(cur, seed_rng.next_below(1 << 14), seed_rng());
+    }
+    std::mutex mu;
+    std::vector<N*> retired;
+    bool done = false;
+    std::vector<std::thread> collectors;
+    for (int c = 0; c < 3; ++c) {
+      collectors.emplace_back([&] {
+        for (;;) {
+          N* v = nullptr;
+          {
+            std::lock_guard<std::mutex> g(mu);
+            if (!retired.empty()) {
+              v = retired.back();
+              retired.pop_back();
+            } else if (done) {
+              return;
+            }
+          }
+          if (v != nullptr) ftree::collect(v);
+        }
+      });
+    }
+    Xoshiro256 rng(41);
+    for (int i = 0; i < 30000; ++i) {
+      N* delta = nullptr;
+      for (int j = 0; j < 6; ++j) {
+        delta = ftree::insert(delta, rng.next_below(1 << 14), rng());
+      }
+      N* next = ftree::union_(ftree::share(cur), delta, 1);
+      {
+        std::lock_guard<std::mutex> g(mu);
+        retired.push_back(cur);  // the old version dies on a collector
+      }
+      cur = next;
+    }
+    {
+      std::lock_guard<std::mutex> g(mu);
+      done = true;
+    }
+    for (auto& t : collectors) t.join();
+    expect_balanced(cur);
+    ftree::collect(cur);
+  }
   EXPECT_EQ(ftree::live_nodes(), base_live);
 }
 
