@@ -1,8 +1,14 @@
 // Ablation for Appendix F: batch size vs throughput and latency. Sweeps the
-// writer's max batch bound and reports update throughput, mean batch size,
-// and mean submit-to-commit latency -- the throughput/latency trade the
-// paper calls out ("a larger batch size leads to higher throughput ... at
-// the cost of longer latency").
+// writer's max batch bound and reports steady-state update throughput, mean
+// batch size, and p50/p99/p999 submit-to-commit latency -- the
+// throughput/latency trade the paper calls out ("a larger batch size leads
+// to higher throughput ... at the cost of longer latency").
+//
+// Each cell is a duration-based steady-state run: producers start, the
+// system warms for MVCC_WARMUP_SECONDS (rings filled, flattener batching at
+// its equilibrium size, allocator warm), then counters are snapshotted and
+// the measured window of MVCC_SECONDS begins. Latency samples are recorded
+// into an obs::LatencyHistogram only inside the window.
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
@@ -13,6 +19,7 @@
 #include "bench_util.h"
 #include "mvcc/common/rng.h"
 #include "mvcc/common/timing.h"
+#include "mvcc/obs/obs.h"
 #include "mvcc/txn/batching.h"
 #include "mvcc/vm/pswf.h"
 
@@ -26,10 +33,13 @@ using BMap = txn::BatchingMap<std::uint64_t, std::uint64_t,
 struct Result {
   double mops;
   double avg_batch;
-  double mean_latency_us;
+  double p50_us;
+  double p99_us;
+  double p999_us;
 };
 
-Result run(std::size_t max_batch, int producers, double seconds) {
+Result run(std::size_t max_batch, int producers, double warmup,
+           double seconds) {
   BMap map(producers, {}, /*buffer_capacity=*/1 << 14, max_batch);
   // Latency probes are synchronous updates, and a sync producer parks until
   // its commit. Probing on a fixed fine cadence would cap batch formation
@@ -39,8 +49,8 @@ Result run(std::size_t max_batch, int producers, double seconds) {
   const std::uint64_t sync_cadence = std::clamp<std::uint64_t>(
       4 * static_cast<std::uint64_t>(max_batch), 1024, 8192);
   std::atomic<bool> stop{false};
-  std::atomic<std::uint64_t> latency_ns{0};
-  std::atomic<std::uint64_t> latency_samples{0};
+  std::atomic<bool> measuring{false};
+  obs::LatencyHistogram latency;
 
   std::vector<std::thread> threads;
   for (int p = 0; p < producers; ++p) {
@@ -52,8 +62,9 @@ Result run(std::size_t max_batch, int producers, double seconds) {
           // Sampled synchronous update: measures commit latency.
           Timer t;
           map.upsert_sync(p, rng.next_below(100000), i);
-          latency_ns.fetch_add(t.nanos(), std::memory_order_relaxed);
-          latency_samples.fetch_add(1, std::memory_order_relaxed);
+          if (measuring.load(std::memory_order_relaxed)) {
+            latency.record(t.nanos());
+          }
         } else {
           map.submit(p, txn::BatchOp::kUpsert, rng.next_below(100000), i);
         }
@@ -61,24 +72,28 @@ Result run(std::size_t max_batch, int producers, double seconds) {
       }
     });
   }
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(warmup));
+  const std::uint64_t ops0 = map.ops_committed();
+  const std::uint64_t batches0 = map.batches_committed();
+  measuring.store(true, std::memory_order_relaxed);
   Timer timer;
   std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  const double secs = timer.seconds();
+  const std::uint64_t ops = map.ops_committed() - ops0;
+  const std::uint64_t batches = map.batches_committed() - batches0;
   stop.store(true, std::memory_order_release);
   for (auto& t : threads) t.join();
   map.flush_all();
-  const double secs = timer.seconds();
 
   Result r;
-  r.mops = static_cast<double>(map.ops_committed()) / secs / 1e6;
-  r.avg_batch = map.batches_committed() == 0
-                    ? 0
-                    : static_cast<double>(map.ops_committed()) /
-                          static_cast<double>(map.batches_committed());
-  r.mean_latency_us =
-      latency_samples.load() == 0
-          ? 0
-          : static_cast<double>(latency_ns.load()) /
-                static_cast<double>(latency_samples.load()) / 1e3;
+  r.mops = static_cast<double>(ops) / secs / 1e6;
+  r.avg_batch = batches == 0 ? 0
+                             : static_cast<double>(ops) /
+                                   static_cast<double>(batches);
+  r.p50_us = latency.quantile(0.50) / 1e3;
+  r.p99_us = latency.quantile(0.99) / 1e3;
+  r.p999_us = latency.quantile(0.999) / 1e3;
   return r;
 }
 
@@ -86,20 +101,28 @@ Result run(std::size_t max_batch, int producers, double seconds) {
 
 int main() {
   const int producers = static_cast<int>(env_long("MVCC_THREADS", 2));
+  const double warmup = bench::warmup_seconds();
   const double secs = bench::cell_seconds();
   bench::print_header("Batching ablation (Appendix F): batch bound sweep");
-  bench::print_row({"max_batch", "update Mop/s", "avg batch", "p~latency us"},
-                   16);
+  std::printf("(producers=%d warmup=%.2fs measure=%.2fs per cell; "
+              "steady-state)\n",
+              producers, warmup, secs);
+  bench::Table table(
+      {"max_batch", "mops", "avg_batch", "p50_us", "p99_us", "p999_us"});
   for (std::size_t mb : {std::size_t{1}, std::size_t{16}, std::size_t{256},
                          std::size_t{4096}, std::size_t{65536}}) {
     std::fprintf(stderr, "batching: max_batch=%zu...\n", mb);
-    Result r = run(mb, producers, secs);
-    bench::print_row({std::to_string(mb), bench::fmt(r.mops),
-                      bench::fmt(r.avg_batch, 1),
-                      bench::fmt(r.mean_latency_us, 1)},
-                     16);
+    Result r = run(mb, producers, warmup, secs);
+    table.add_row({std::to_string(mb), bench::fmt(r.mops),
+                   bench::fmt(r.avg_batch, 1), bench::fmt(r.p50_us, 1),
+                   bench::fmt(r.p99_us, 1), bench::fmt(r.p999_us, 1)});
   }
+  table.print();
   std::printf("expected shape: throughput grows with the batch bound while\n"
               "sampled commit latency grows too (throughput/latency trade).\n");
+  if (obs::enabled()) {
+    bench::print_header("metrics (obs registry)");
+    std::fputs(obs::registry().dump_text("batching/").c_str(), stdout);
+  }
   return 0;
 }

@@ -9,9 +9,17 @@
 //   hash        sharded hash map (Masstree stand-in)
 //
 // Paper setup: 5e7 keys, 1e7 ops, 144 hyperthreads, GC off. Defaults are
-// laptop scale; MVCC_SCALE multiplies keys and ops, MVCC_THREADS sets the
+// laptop scale; MVCC_SCALE multiplies the key space, MVCC_THREADS sets the
 // worker count. Expected shape: "ours" at or above the best baseline on all
 // three mixes (the paper reports +20%-300%).
+//
+// Every cell is a duration-based steady-state run: workers start, the
+// structure warms for MVCC_WARMUP_SECONDS, then per-thread op counters are
+// snapshotted and the MVCC_SECONDS window is measured. Every 64th op inside
+// the window is latency-sampled into log-bucketed histograms, reported as a
+// second table of p50/p99/p999 read and update-op quantiles (for "ours" the
+// update op is the async submit; sync commit latency is bench_batching's
+// column and the txn/commit_latency_ns registry metric).
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -26,6 +34,7 @@
 #include "mvcc/baselines/sharded_hash.h"
 #include "mvcc/baselines/skiplist.h"
 #include "mvcc/common/timing.h"
+#include "mvcc/obs/obs.h"
 #include "mvcc/txn/batching.h"
 #include "mvcc/vm/base.h"
 #include "mvcc/vm/pswf.h"
@@ -41,45 +50,121 @@ using workload::ZipfGenerator;
 
 struct Config {
   std::uint64_t keys;
-  std::uint64_t total_ops;
   int threads;
+  double warmup;
+  double seconds;
 };
 
-// Generic runner for the plain concurrent-map interface (upsert/find).
-template <typename M>
-double run_plain(M& m, const YcsbSpec& spec, const ZipfGenerator& zipf,
-                 const Config& cfg) {
-  const auto dataset = workload::ycsb_dataset(cfg.keys);
-  for (const auto& [k, v] : dataset) m.upsert(k, v);
+struct CellResult {
+  double mops = 0;
+  double read_us[3] = {0, 0, 0};  // p50, p99, p999
+  double upd_us[3] = {0, 0, 0};
+};
 
+struct alignas(64) PaddedCount {
+  std::atomic<std::uint64_t> v{0};
+};
+
+// Steady-state harness shared by every structure. Adapter provides
+// read(t, key) -> sink contribution and update(t, key, val); finish() runs
+// after the workers join, outside the measured window.
+template <class Adapter>
+CellResult run_cell(Adapter& ad, const YcsbSpec& spec,
+                    const ZipfGenerator& zipf, const Config& cfg) {
+  constexpr std::uint64_t kSampleMask = 63;  // every 64th op in the window
+  std::atomic<bool> stop{false};
+  std::atomic<bool> measuring{false};
   std::atomic<std::uint64_t> sink{0};
-  const std::uint64_t per_thread = cfg.total_ops / cfg.threads;
-  Timer timer;
+  std::vector<PaddedCount> counts(static_cast<std::size_t>(cfg.threads));
+  obs::LatencyHistogram read_lat;
+  obs::LatencyHistogram upd_lat;
+
   std::vector<std::thread> threads;
   for (int t = 0; t < cfg.threads; ++t) {
     threads.emplace_back([&, t] {
       YcsbStream stream(spec, zipf, 1000 + static_cast<std::uint64_t>(t));
       std::uint64_t local = 0;
-      for (std::uint64_t i = 0; i < per_thread; ++i) {
+      std::uint64_t ops = 0;
+      while (!stop.load(std::memory_order_acquire)) {
         auto op = stream.next();
+        const bool sample = measuring.load(std::memory_order_relaxed) &&
+                            (ops & kSampleMask) == kSampleMask;
         if (op.type == YcsbOp::kRead) {
-          auto v = m.find(op.key);
-          local += v.has_value() ? *v : 0;
+          if (sample) {
+            Timer tm;
+            local += ad.read(t, op.key);
+            read_lat.record(tm.nanos());
+          } else {
+            local += ad.read(t, op.key);
+          }
         } else {
-          m.upsert(op.key, i);
+          if (sample) {
+            Timer tm;
+            ad.update(t, op.key, ops);
+            upd_lat.record(tm.nanos());
+          } else {
+            ad.update(t, op.key, ops);
+          }
         }
+        ++ops;
+        counts[static_cast<std::size_t>(t)].v.store(
+            ops, std::memory_order_relaxed);
       }
       sink.fetch_add(local, std::memory_order_relaxed);
     });
   }
-  for (auto& t : threads) t.join();
+
+  auto total = [&] {
+    std::uint64_t s = 0;
+    for (const auto& c : counts) s += c.v.load(std::memory_order_relaxed);
+    return s;
+  };
+  std::this_thread::sleep_for(std::chrono::duration<double>(cfg.warmup));
+  measuring.store(true, std::memory_order_relaxed);
+  const std::uint64_t ops0 = total();
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::duration<double>(cfg.seconds));
+  const std::uint64_t ops1 = total();
   const double secs = timer.seconds();
-  return static_cast<double>(per_thread) * cfg.threads / secs / 1e6;
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  ad.finish();
+
+  CellResult r;
+  r.mops = static_cast<double>(ops1 - ops0) / secs / 1e6;
+  const double qs[3] = {0.50, 0.99, 0.999};
+  for (int i = 0; i < 3; ++i) {
+    r.read_us[i] = read_lat.quantile(qs[i]) / 1e3;
+    r.upd_us[i] = upd_lat.quantile(qs[i]) / 1e3;
+  }
+  return r;
 }
 
-// Runner for our batched multiversion map: reads are read transactions,
-// updates are submissions to the batching writer; the clock includes the
-// final flush so every update is durable within the measured window.
+// Plain concurrent-map interface (upsert/find).
+template <typename M>
+struct PlainAdapter {
+  M& m;
+  std::uint64_t read(int, std::uint64_t k) {
+    auto v = m.find(k);
+    return v.has_value() ? *v : 0;
+  }
+  void update(int, std::uint64_t k, std::uint64_t v) { m.upsert(k, v); }
+  void finish() {}
+};
+
+template <typename M>
+CellResult run_plain(M& m, const YcsbSpec& spec, const ZipfGenerator& zipf,
+                     const Config& cfg) {
+  const auto dataset = workload::ycsb_dataset(cfg.keys);
+  for (const auto& [k, v] : dataset) m.upsert(k, v);
+  PlainAdapter<M> ad{m};
+  return run_cell(ad, spec, zipf, cfg);
+}
+
+// Our batched multiversion map: reads acquire the current version through
+// the VM, updates are submissions to the batching writer; the final flush
+// runs outside the window (at steady state admission control ties the
+// submit rate to the commit rate, so counting submits is fair).
 //
 // The paper's Figure 7 turns GC off for every structure ("we are interested
 // in the performance of the trees and not the GC"), which for ours means
@@ -87,8 +172,8 @@ double run_plain(M& m, const YcsbSpec& spec, const ZipfGenerator& zipf,
 // the Base VM. The PSWF variant ("ours+gc") is reported as an extra column
 // to show the full-system cost the paper's Table 2 measures separately.
 template <template <typename> class VMImpl>
-double run_ours(const YcsbSpec& spec, const ZipfGenerator& zipf,
-                const Config& cfg) {
+CellResult run_ours(const YcsbSpec& spec, const ZipfGenerator& zipf,
+                    const Config& cfg) {
   using BMap = txn::BatchingMap<std::uint64_t, std::uint64_t,
                                 ftree::NoAug<std::uint64_t, std::uint64_t>,
                                 VMImpl>;
@@ -96,30 +181,18 @@ double run_ours(const YcsbSpec& spec, const ZipfGenerator& zipf,
   BMap map(cfg.threads, BMap::Map::from_entries(std::move(dataset)),
            /*buffer_capacity=*/1 << 14);
 
-  std::atomic<std::uint64_t> sink{0};
-  const std::uint64_t per_thread = cfg.total_ops / cfg.threads;
-  Timer timer;
-  std::vector<std::thread> threads;
-  for (int t = 0; t < cfg.threads; ++t) {
-    threads.emplace_back([&, t] {
-      YcsbStream stream(spec, zipf, 1000 + static_cast<std::uint64_t>(t));
-      std::uint64_t local = 0;
-      for (std::uint64_t i = 0; i < per_thread; ++i) {
-        auto op = stream.next();
-        if (op.type == YcsbOp::kRead) {
-          auto v = map.get(t, op.key);
-          local += v.has_value() ? *v : 0;
-        } else {
-          map.submit(t, txn::BatchOp::kUpsert, op.key, i);
-        }
-      }
-      sink.fetch_add(local, std::memory_order_relaxed);
-    });
-  }
-  for (auto& t : threads) t.join();
-  map.flush_all();
-  const double secs = timer.seconds();
-  return static_cast<double>(per_thread) * cfg.threads / secs / 1e6;
+  struct Adapter {
+    BMap& m;
+    std::uint64_t read(int t, std::uint64_t k) {
+      auto v = m.get(t, k);
+      return v.has_value() ? *v : 0;
+    }
+    void update(int t, std::uint64_t k, std::uint64_t v) {
+      m.submit(t, txn::BatchOp::kUpsert, k, v);
+    }
+    void finish() { m.flush_all(); }
+  } ad{map};
+  return run_cell(ad, spec, zipf, cfg);
 }
 
 }  // namespace
@@ -127,53 +200,82 @@ double run_ours(const YcsbSpec& spec, const ZipfGenerator& zipf,
 int main() {
   Config cfg;
   cfg.keys = static_cast<std::uint64_t>(200000 * env_scale());
-  cfg.total_ops = static_cast<std::uint64_t>(400000 * env_scale());
   cfg.threads = static_cast<int>(env_long(
       "MVCC_THREADS",
       std::max(2u, std::thread::hardware_concurrency())));
+  cfg.warmup = bench::warmup_seconds();
+  cfg.seconds = bench::cell_seconds();
 
   ZipfGenerator zipf(cfg.keys, 0.99);
   const YcsbSpec specs[] = {workload::kYcsbA, workload::kYcsbB,
                             workload::kYcsbC};
+  const char* columns[] = {"ours",     "ours+gc", "cow-nobatch", "skiplist",
+                           "ext-bst",  "b+tree",  "hash"};
+  constexpr int kStructures = 7;
+  CellResult results[3][kStructures];
 
-  bench::print_header("Figure 7: YCSB throughput (Mop/s), six structures");
-  std::printf("(keys=%llu ops=%llu threads=%d; paper: 5e7 keys, 1e7 ops, 144 "
-              "threads)\n",
-              static_cast<unsigned long long>(cfg.keys),
-              static_cast<unsigned long long>(cfg.total_ops), cfg.threads);
-  bench::print_row({"workload", "ours", "ours+gc", "cow-nobatch", "skiplist",
-                    "ext-bst", "b+tree", "hash"},
-                   14);
-
-  for (const auto& spec : specs) {
+  for (int w = 0; w < 3; ++w) {
+    const YcsbSpec& spec = specs[w];
     std::fprintf(stderr, "fig7: workload %s...\n", spec.name.data());
-    const double ours = run_ours<vm::BaseVersionManager>(spec, zipf, cfg);
-    const double ours_gc = run_ours<vm::PswfVersionManager>(spec, zipf, cfg);
-    double cow, sl, bst, bpt, hash;
+    results[w][0] = run_ours<vm::BaseVersionManager>(spec, zipf, cfg);
+    results[w][1] = run_ours<vm::PswfVersionManager>(spec, zipf, cfg);
     {
       baselines::CowTreeNoBatch m;
-      cow = run_plain(m, spec, zipf, cfg);
+      results[w][2] = run_plain(m, spec, zipf, cfg);
     }
     {
       baselines::LockFreeSkipList m;
-      sl = run_plain(m, spec, zipf, cfg);
+      results[w][3] = run_plain(m, spec, zipf, cfg);
     }
     {
       baselines::ExternalBst m;
-      bst = run_plain(m, spec, zipf, cfg);
+      results[w][4] = run_plain(m, spec, zipf, cfg);
     }
     {
       baselines::BPlusTree m;
-      bpt = run_plain(m, spec, zipf, cfg);
+      results[w][5] = run_plain(m, spec, zipf, cfg);
     }
     {
       baselines::ShardedHashMap m(cfg.keys * 2);
-      hash = run_plain(m, spec, zipf, cfg);
+      results[w][6] = run_plain(m, spec, zipf, cfg);
     }
-    bench::print_row({std::string(spec.name), bench::fmt(ours),
-                      bench::fmt(ours_gc), bench::fmt(cow), bench::fmt(sl),
-                      bench::fmt(bst), bench::fmt(bpt), bench::fmt(hash)},
-                     14);
+  }
+
+  bench::print_header("Figure 7: YCSB throughput (Mop/s), six structures");
+  std::printf("(keys=%llu threads=%d warmup=%.2fs measure=%.2fs per cell; "
+              "paper: 5e7 keys, 144 threads)\n",
+              static_cast<unsigned long long>(cfg.keys), cfg.threads,
+              cfg.warmup, cfg.seconds);
+  bench::Table tput({"workload", "ours", "ours+gc", "cow-nobatch", "skiplist",
+                     "ext-bst", "b+tree", "hash"});
+  for (int w = 0; w < 3; ++w) {
+    std::vector<std::string> row{std::string(specs[w].name)};
+    for (int s = 0; s < kStructures; ++s) {
+      row.push_back(bench::fmt(results[w][s].mops));
+    }
+    tput.add_row(std::move(row));
+  }
+  tput.print();
+
+  bench::print_header(
+      "Figure 7 steady-state latency (us, sampled every 64th op)");
+  bench::Table lat({"structure", "workload", "read_p50_us", "read_p99_us",
+                    "read_p999_us", "upd_p50_us", "upd_p99_us",
+                    "upd_p999_us"});
+  for (int s = 0; s < kStructures; ++s) {
+    for (int w = 0; w < 3; ++w) {
+      const CellResult& r = results[w][s];
+      lat.add_row({columns[s], std::string(specs[w].name),
+                   bench::fmt(r.read_us[0], 1), bench::fmt(r.read_us[1], 1),
+                   bench::fmt(r.read_us[2], 1), bench::fmt(r.upd_us[0], 1),
+                   bench::fmt(r.upd_us[1], 1), bench::fmt(r.upd_us[2], 1)});
+    }
+  }
+  lat.print();
+
+  if (obs::enabled()) {
+    bench::print_header("metrics (obs registry)");
+    std::fputs(obs::registry().dump_text("fig7/").c_str(), stdout);
   }
   return 0;
 }

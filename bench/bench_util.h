@@ -1,11 +1,14 @@
 // Shared helpers for the experiment binaries: table formatting and scale
 // knobs. Every bench prints the same rows/series as the paper's table or
 // figure it regenerates, at a machine-appropriate default scale
-// (MVCC_SCALE, MVCC_SECONDS, MVCC_READERS environment variables scale up).
+// (MVCC_SCALE, MVCC_SECONDS, MVCC_WARMUP_SECONDS, MVCC_READERS environment
+// variables scale up).
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mvcc/common/env.h"
@@ -16,21 +19,73 @@ inline void print_header(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
 }
 
+// Prints one row of left-aligned cells. `width` is a minimum: a cell wider
+// than it gets its own width plus a separating space, so long values never
+// jam into the next column (they may still stagger against other rows —
+// use Table when the whole table is known up front).
 inline void print_row(const std::vector<std::string>& cells, int width = 12) {
-  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  for (const auto& c : cells) {
+    const int w = std::max(width, static_cast<int>(c.size()) + 1);
+    std::printf("%-*s", w, c.c_str());
+  }
   std::printf("\n");
 }
 
+// Collects a header plus rows and prints them with every column as wide as
+// its widest cell — the alignment print_row cannot guarantee row by row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header, int min_width = 12)
+      : min_width_(min_width) {
+    rows_.push_back(std::move(header));
+  }
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::vector<int> widths;
+    for (const auto& row : rows_) {
+      if (widths.size() < row.size()) widths.resize(row.size(), min_width_);
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        widths[i] =
+            std::max(widths[i], static_cast<int>(row[i].size()) + 2);
+      }
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        std::printf("%-*s", widths[i], row[i].c_str());
+      }
+      std::printf("\n");
+    }
+  }
+
+ private:
+  int min_width_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Fixed-precision double formatting with no truncation: the buffer is
+// sized by a measuring pass, so any magnitude round-trips intact.
 inline std::string fmt(double v, int precision = 3) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
-  return buf;
+  const int n = std::snprintf(nullptr, 0, "%.*f", precision, v);
+  std::string s(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+  if (n > 0) std::snprintf(s.data(), s.size() + 1, "%.*f", precision, v);
+  return s;
 }
 
 inline std::string fmt_int(long long v) { return std::to_string(v); }
 
 // Benchmark wall-clock budget per measured cell, seconds.
 inline double cell_seconds() { return env_double("MVCC_SECONDS", 0.4); }
+
+// Warm-up run before each measured cell of a duration-based steady-state
+// bench (ScaleStore-driver style): threads run the full workload, nothing
+// is recorded until the warm-up elapses.
+inline double warmup_seconds() {
+  return env_double("MVCC_WARMUP_SECONDS", 0.1);
+}
 
 // Reader thread count for the Table 2 / Figure 6 harness (paper: 140).
 inline int reader_threads() {

@@ -1,29 +1,66 @@
 #!/usr/bin/env sh
-# Turns the smoke-run tables of bench_fig7 and bench_table3 into one flat
-# machine-readable JSON object (metric name -> number), so every CI run
-# archives a comparable perf record (bench-smoke.json) and the trajectory
-# of the repo's throughput can be graphed across commits.
+# Turns the smoke-run tables of bench_fig7, bench_table3 and (optionally)
+# bench_batching — plus any obs-registry `name=value` dump lines they
+# contain (MVCC_STATS=1) — into one flat machine-readable JSON object
+# (metric name -> number), so every CI run archives a comparable perf
+# record (bench-smoke.json) and the trajectory of the repo's throughput,
+# latency quantiles and memory footprint can be graphed across commits.
 #
-# Usage: to_json.sh fig7-smoke.txt table3-smoke.txt > bench-smoke.json
+# Usage: to_json.sh fig7.txt table3.txt [batching.txt] > bench-smoke.json
 #
 # Emitted keys:
-#   fig7/<workload>/<structure>_mops   YCSB throughput, Mop/s
-#   table3/p<N>/<column>_s             inverted-index phase times, seconds
-#                                      (Tu+Tq -> TuplusTq, Tu+q -> Tuplusq)
+#   fig7/<workload>/<structure>_mops    YCSB throughput, Mop/s
+#   fig7lat/<structure>/<workload>/<q>  steady-state latency quantiles, us
+#   table3/p<N>/<column>_s              inverted-index phase times, seconds
+#                                       (Tu+Tq -> TuplusTq, Tu+q -> Tuplusq)
+#   batching/mb<N>/<column>             batch-bound sweep row, per max_batch
+#   <bench>/<metric>[/<stat>]           obs registry dumps, already
+#                                       namespaced by the emitting bench
+#                                       (e.g. fig7/ftree/live_nodes_hwm,
+#                                       batching/txn/commit_latency_ns/p99)
+#
+# A table whose header drifted parses to nothing; that must fail the run
+# loudly, not archive a silently empty JSON — any input file yielding zero
+# metrics exits non-zero.
 set -eu
 
 fig7="${1:-fig7-smoke.txt}"
 table3="${2:-table3-smoke.txt}"
+batching="${3:-}"
 
-{
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# Registry dump lines pass through verbatim: the benches already namespace
+# them (fig7/..., batching/...). Whole-line match so table rows and chatter
+# never alias into metrics.
+metric_lines() {
+  awk '/^[A-Za-z0-9_][A-Za-z0-9_\/+.-]*=-?[0-9]+(\.[0-9]+)?$/' "$1"
+}
+
+parse_fig7() {
   awk '
-    $1 == "workload" { for (i = 2; i <= NF; i++) col[i] = $i; have = 1; next }
-    have && ($1 == "A" || $1 == "B" || $1 == "C") {
-      for (i = 2; i <= NF; i++) {
-        printf "fig7/%s/%s_mops=%s\n", $1, col[i], $i
-      }
+    /^====/ { mode = "" }
+    $1 == "workload" {
+      for (i = 2; i <= NF; i++) col[i] = $i
+      mode = "tput"; next
     }
-  ' "$fig7"
+    $1 == "structure" {
+      for (i = 3; i <= NF; i++) lcol[i] = $i
+      mode = "lat"; next
+    }
+    mode == "tput" && ($1 == "A" || $1 == "B" || $1 == "C") {
+      for (i = 2; i <= NF; i++) printf "fig7/%s/%s_mops=%s\n", $1, col[i], $i
+    }
+    mode == "lat" && ($2 == "A" || $2 == "B" || $2 == "C") {
+      for (i = 3; i <= NF; i++)
+        printf "fig7lat/%s/%s/%s=%s\n", $1, $2, lcol[i], $i
+    }
+  ' "$1"
+  metric_lines "$1"
+}
+
+parse_table3() {
   awk '
     $1 == "p" { for (i = 2; i <= NF; i++) col[i] = $i; have = 1; next }
     have && $1 ~ /^[0-9]+$/ {
@@ -33,12 +70,44 @@ table3="${2:-table3-smoke.txt}"
         printf "table3/p%s/%s_s=%s\n", $1, name, $i
       }
     }
-  ' "$table3"
-} | awk -F= '
+  ' "$1"
+  metric_lines "$1"
+}
+
+parse_batching() {
+  awk '
+    /^====/ { have = 0 }
+    $1 == "max_batch" { for (i = 2; i <= NF; i++) col[i] = $i; have = 1; next }
+    have && $1 ~ /^[0-9]+$/ {
+      for (i = 2; i <= NF; i++) printf "batching/mb%s/%s=%s\n", $1, col[i], $i
+    }
+  ' "$1"
+  metric_lines "$1"
+}
+
+require_metrics() {
+  if ! [ -s "$1" ]; then
+    echo "to_json.sh: zero metrics parsed from $2 (table header drift?)" >&2
+    exit 1
+  fi
+}
+
+parse_fig7 "$fig7" > "$tmp/fig7"
+require_metrics "$tmp/fig7" "$fig7"
+parse_table3 "$table3" > "$tmp/table3"
+require_metrics "$tmp/table3" "$table3"
+cat "$tmp/fig7" "$tmp/table3" > "$tmp/all"
+if [ -n "$batching" ]; then
+  parse_batching "$batching" > "$tmp/batching"
+  require_metrics "$tmp/batching" "$batching"
+  cat "$tmp/batching" >> "$tmp/all"
+fi
+
+awk -F= '
   BEGIN { print "{" }
   { rows[++n] = sprintf("  \"%s\": %s", $1, $2) }
   END {
     for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], i < n ? "," : ""
     print "}"
   }
-'
+' "$tmp/all"

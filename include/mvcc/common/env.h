@@ -8,6 +8,10 @@
 //   MVCC_SECONDS  wall-clock budget per measured cell, seconds (default 0.4)
 //   MVCC_READERS  reader-thread count for the Table 2 harness  (default 3)
 //   MVCC_THREADS  worker-thread count for batch/bulk ops       (default hw)
+//   MVCC_WARMUP_SECONDS  steady-state warm-up before each measured
+//                 duration-based bench cell                    (default 0.1)
+//   MVCC_STATS    1 enables the obs/ metrics layer (see obs/obs.h);
+//                 unset/0 keeps instrumentation disabled       (default 0)
 #pragma once
 
 #include <cstdlib>

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "mvcc/common/env.h"
+#include "mvcc/obs/obs.h"
 
 namespace mvcc::ftree {
 
@@ -42,6 +43,39 @@ inline std::atomic<long long> g_live_nodes{0};
 
 inline long long live_nodes() {
   return g_live_nodes.load(std::memory_order_relaxed);
+}
+
+// Memory-footprint telemetry (the metric the space-bounded MVGC follow-up
+// work tracks alongside throughput): byte-exact live-heap accounting and
+// high-water marks, maintained only under obs::enabled() so the default
+// hot path keeps its single counter increment.
+//
+//   ftree/live_nodes_hwm   max nodes simultaneously live (all trees)
+//   ftree/live_bytes_hwm   the same high-water mark in node bytes
+inline std::atomic<long long> g_live_bytes{0};
+
+inline obs::Gauge& live_nodes_hwm() {
+  static obs::Gauge& g = obs::registry().gauge("ftree/live_nodes_hwm");
+  return g;
+}
+
+inline obs::Gauge& live_bytes_hwm() {
+  static obs::Gauge& g = obs::registry().gauge("ftree/live_bytes_hwm");
+  return g;
+}
+
+inline void note_nodes_alloc(long long nodes_now, std::size_t bytes) {
+  const long long bytes_now =
+      g_live_bytes.fetch_add(static_cast<long long>(bytes),
+                             std::memory_order_relaxed) +
+      static_cast<long long>(bytes);
+  live_nodes_hwm().update_max(nodes_now);
+  live_bytes_hwm().update_max(bytes_now);
+}
+
+inline void note_nodes_freed(std::size_t bytes) {
+  g_live_bytes.fetch_sub(static_cast<long long>(bytes),
+                         std::memory_order_relaxed);
 }
 
 // Augmentation that carries nothing; the default for plain maps.
@@ -107,7 +141,9 @@ inline typename A::T aug_of(const Node<K, V, A>* t) {
 template <class K, class V, class A>
 Node<K, V, A>* make_node(const K& k, const V& v, Node<K, V, A>* l,
                          Node<K, V, A>* r) {
-  g_live_nodes.fetch_add(1, std::memory_order_relaxed);
+  const long long now =
+      g_live_nodes.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (obs::enabled()) note_nodes_alloc(now, sizeof(Node<K, V, A>));
   return new Node<K, V, A>(k, v, l, r);
 }
 
@@ -161,6 +197,7 @@ std::size_t collect(Node<K, V, A>* t) {
   if (outermost) shared_stack_in_use = false;
   g_live_nodes.fetch_sub(static_cast<long long>(freed),
                          std::memory_order_relaxed);
+  if (obs::enabled()) note_nodes_freed(freed * sizeof(Node<K, V, A>));
   return freed;
 }
 
@@ -181,6 +218,7 @@ inline void expose(Node<K, V, A>* t, Node<K, V, A>** l, Node<K, V, A>** r,
     *r = t->right;
     delete t;
     g_live_nodes.fetch_sub(1, std::memory_order_relaxed);
+    if (obs::enabled()) note_nodes_freed(sizeof(Node<K, V, A>));
   } else {
     // Shared with other versions: bump the children BEFORE dropping t (we
     // still own t, so its child references pin them), then check whether
@@ -202,6 +240,7 @@ inline void expose(Node<K, V, A>* t, Node<K, V, A>** l, Node<K, V, A>** r,
       }
       delete t;
       g_live_nodes.fetch_sub(1, std::memory_order_relaxed);
+      if (obs::enabled()) note_nodes_freed(sizeof(Node<K, V, A>));
     }
   }
 }

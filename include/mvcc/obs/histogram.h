@@ -1,0 +1,133 @@
+// Log-bucketed (HDR-style) latency histogram with lock-free recording.
+//
+// record() maps a value to a bucket in a handful of instructions: values
+// below 2^kSubBits are their own bucket; above that, each power-of-two
+// octave is split into 2^kSubBits linear sub-buckets, so the relative
+// bucket width is at most 1/2^kSubBits (12.5% for kSubBits = 3) across the
+// whole range. Buckets are relaxed atomic counts, so any number of threads
+// may record concurrently; quantile() walks the buckets to the requested
+// rank and interpolates linearly inside the landing bucket, giving p50/p99/
+// p999 readouts exact to within the bucket resolution.
+//
+// The covered range is [0, 2^kMaxExp) — about 73 minutes in nanoseconds.
+// Larger values land in a terminal overflow bucket whose quantile readout
+// is the range limit, so a wild outlier saturates instead of aliasing.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace mvcc::obs {
+
+class LatencyHistogram {
+ public:
+  static constexpr unsigned kSubBits = 3;
+  static constexpr unsigned kMaxExp = 42;
+  // Buckets 0..2^kSubBits-1 are the identity range; each octave from
+  // kSubBits to kMaxExp-1 contributes 2^kSubBits sub-buckets; one more is
+  // the overflow bucket.
+  static constexpr std::size_t kBuckets =
+      (std::size_t{kMaxExp - kSubBits + 1} << kSubBits) + 1;
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void record(std::uint64_t v) {
+    buckets_[index_of(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    std::uint64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+
+  double mean() const {
+    const std::uint64_t n = count();
+    if (n == 0) return 0.0;
+    return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+           static_cast<double>(n);
+  }
+
+  // Value at quantile q in [0, 1]; 0 when empty. Walks to the bucket
+  // containing rank q*(n-1) and interpolates at the midpoint convention:
+  // a bucket's k samples are spread evenly across its width, so a single
+  // sample reads back as its bucket's midpoint (within resolution of the
+  // recorded value).
+  double quantile(double q) const {
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    std::uint64_t counts[kBuckets];
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      counts[i] = buckets_[i].load(std::memory_order_relaxed);
+      n += counts[i];
+    }
+    if (n == 0) return 0.0;
+    const double rank = q * static_cast<double>(n - 1);
+    std::uint64_t before = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      if (counts[i] == 0) continue;
+      const double last_in_bucket =
+          static_cast<double>(before + counts[i] - 1);
+      if (rank <= last_in_bucket) {
+        // Identity-range buckets have width 1 and hold integers, so their
+        // readout is exact; wider buckets interpolate at the midpoint.
+        if (i < (std::size_t{1} << kSubBits)) return static_cast<double>(i);
+        const double pos = rank - static_cast<double>(before) + 0.5;
+        const double frac = pos / static_cast<double>(counts[i]);
+        return bucket_lower(i) +
+               (bucket_upper(i) - bucket_lower(i)) * frac;
+      }
+      before += counts[i];
+    }
+    return bucket_upper(kBuckets - 1);  // unreachable; keeps -Wreturn happy
+  }
+
+  static std::size_t index_of(std::uint64_t v) {
+    if (v < (std::uint64_t{1} << kSubBits)) return static_cast<std::size_t>(v);
+    if (v >= (std::uint64_t{1} << kMaxExp)) return kBuckets - 1;
+    const unsigned top = std::bit_width(v) - 1;  // >= kSubBits
+    const std::uint64_t sub = (v >> (top - kSubBits)) & kSubMask;
+    return ((std::size_t{top} - kSubBits + 1) << kSubBits) +
+           static_cast<std::size_t>(sub);
+  }
+
+ private:
+  static constexpr std::uint64_t kSubMask =
+      (std::uint64_t{1} << kSubBits) - 1;
+
+  static double bucket_lower(std::size_t i) {
+    if (i < (std::size_t{1} << kSubBits)) return static_cast<double>(i);
+    if (i == kBuckets - 1) {
+      return static_cast<double>(std::uint64_t{1} << kMaxExp);
+    }
+    const unsigned top =
+        static_cast<unsigned>(i >> kSubBits) + kSubBits - 1;
+    const std::uint64_t sub = i & kSubMask;
+    return static_cast<double>(((std::uint64_t{1} << kSubBits) + sub)
+                               << (top - kSubBits));
+  }
+
+  static double bucket_upper(std::size_t i) {
+    if (i < (std::size_t{1} << kSubBits)) return static_cast<double>(i + 1);
+    if (i == kBuckets - 1) {
+      // Overflow bucket: saturate at the range limit rather than invent a
+      // width for unbounded values.
+      return static_cast<double>(std::uint64_t{1} << kMaxExp);
+    }
+    const unsigned top =
+        static_cast<unsigned>(i >> kSubBits) + kSubBits - 1;
+    return bucket_lower(i) +
+           static_cast<double>(std::uint64_t{1} << (top - kSubBits));
+  }
+
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+}  // namespace mvcc::obs

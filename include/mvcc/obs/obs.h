@@ -1,0 +1,62 @@
+// Umbrella header and master switch of the obs/ metrics layer.
+//
+// Instrumented hot paths guard every metric touch with obs::enabled():
+//
+//   if (obs::enabled()) stats().commit_latency.record(t.nanos());
+//
+// The switch has two layers so instrumentation is zero-cost when off:
+//
+//   * Compile time: configuring with -DMVCC_STATS=OFF defines
+//     MVCC_STATS_DISABLED, making enabled() constexpr false — every guarded
+//     block is dead code the compiler deletes outright.
+//   * Run time (the default build): enabled() is one relaxed atomic load
+//     and a branch, initialized from the MVCC_STATS environment variable
+//     (unset/0 = off). A predicted-untaken branch per already-expensive
+//     operation (node allocation, version retire, batch commit) is below
+//     measurement noise — the property the BENCH_6.json trajectory run
+//     checks against a stats-off build.
+//
+// set_enabled() exists for tests, which must flip collection on without
+// re-exec'ing under a new environment.
+#pragma once
+
+#include <atomic>
+
+#include "mvcc/common/env.h"
+#include "mvcc/obs/counter.h"
+#include "mvcc/obs/histogram.h"
+#include "mvcc/obs/registry.h"
+
+namespace mvcc::obs {
+
+#if defined(MVCC_STATS_DISABLED)
+
+constexpr bool enabled() { return false; }
+inline void set_enabled(bool) {}
+
+#else
+
+namespace detail {
+// -1 = uninitialized; first enabled() call resolves the MVCC_STATS env var.
+inline std::atomic<int>& enabled_flag() {
+  static std::atomic<int> flag{-1};
+  return flag;
+}
+}  // namespace detail
+
+inline bool enabled() {
+  int v = detail::enabled_flag().load(std::memory_order_relaxed);
+  if (v < 0) [[unlikely]] {
+    v = env_long("MVCC_STATS", 0) != 0 ? 1 : 0;
+    detail::enabled_flag().store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+inline void set_enabled(bool on) {
+  detail::enabled_flag().store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+#endif  // MVCC_STATS_DISABLED
+
+}  // namespace mvcc::obs

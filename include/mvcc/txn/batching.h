@@ -49,11 +49,38 @@
 #include <utility>
 #include <vector>
 
+#include "mvcc/common/timing.h"
 #include "mvcc/ftree/fmap.h"
 #include "mvcc/ftree/ops.h"
+#include "mvcc/obs/obs.h"
 #include "mvcc/vm/base.h"
 
 namespace mvcc::txn {
+
+// Registry handles for the batching front-end, looked up once and shared
+// by every BatchingMap instantiation (the telemetry is a process-wide
+// aggregate, like ftree::live_nodes). Touched only under obs::enabled().
+//
+//   txn/batch_size            ops folded into each published version
+//   txn/commit_latency_ns     upsert_sync submit-to-visible latency
+//   txn/flattener_stalls      partial batches committed because a sync
+//                             waiter was parked on rings that ran dry
+//   txn/admission_rejects     submit calls that blocked on the in-flight
+//                             bound before their op was admitted
+struct BatchingStats {
+  obs::LatencyHistogram& batch_size;
+  obs::LatencyHistogram& commit_latency_ns;
+  obs::Counter& flattener_stalls;
+  obs::Counter& admission_rejects;
+
+  static BatchingStats& get() {
+    static BatchingStats s{obs::registry().histogram("txn/batch_size"),
+                           obs::registry().histogram("txn/commit_latency_ns"),
+                           obs::registry().counter("txn/flattener_stalls"),
+                           obs::registry().counter("txn/admission_rejects")};
+    return s;
+  }
+};
 
 // The operations a producer may submit. Updates are upserts today; the enum
 // leaves room for deletes once the tree grows a bulk difference path.
@@ -108,6 +135,9 @@ class BatchingMap {
     for (int p = 0; p < producers_; ++p) {
       rings_.push_back(std::make_unique<Ring>(cap));
     }
+    // Register the txn/ metrics up front so a stats-on run exports them
+    // even when an event (a stall, a reject) never fires.
+    if (obs::enabled()) (void)BatchingStats::get();
     flattener_ = std::thread([this] { flatten_loop(); });
   }
 
@@ -130,9 +160,14 @@ class BatchingMap {
     assert(p >= 0 && p < producers_);
     Ring& r = *rings_[static_cast<std::size_t>(p)];
     const std::uint64_t t = r.pushed.load(std::memory_order_relaxed);
-    while (t - r.committed.load(std::memory_order_acquire) >=
-           inflight_limit_) {
-      std::this_thread::yield();
+    if (t - r.committed.load(std::memory_order_acquire) >= inflight_limit_) {
+      // Admission control rejected the op on first try; count the blocked
+      // submit once, then wait out the backlog.
+      if (obs::enabled()) BatchingStats::get().admission_rejects.add();
+      while (t - r.committed.load(std::memory_order_acquire) >=
+             inflight_limit_) {
+        std::this_thread::yield();
+      }
     }
     Slot& s = r.slots[t & r.mask];
     s.key = k;
@@ -148,14 +183,13 @@ class BatchingMap {
   // has run dry with a sync waiter already drained — a producer blocked
   // here never waits on a batch that cannot fill.
   void upsert_sync(int p, const K& k, const V& v) {
-    submit(p, BatchOp::kUpsert, k, v);
-    Ring& r = *rings_[static_cast<std::size_t>(p)];
-    const std::uint64_t ticket = r.pushed.load(std::memory_order_relaxed);
-    r.sync_waiting.store(ticket, std::memory_order_release);
-    while (r.committed.load(std::memory_order_acquire) < ticket) {
-      std::this_thread::yield();
+    if (!obs::enabled()) {
+      upsert_sync_impl(p, k, v);
+      return;
     }
-    r.sync_waiting.store(0, std::memory_order_release);
+    Timer t;
+    upsert_sync_impl(p, k, v);
+    BatchingStats::get().commit_latency_ns.record(t.nanos());
   }
 
   // Point read against the current version via VM slot p.
@@ -240,6 +274,17 @@ class BatchingMap {
 
   int writer_pid() const { return producers_; }
 
+  void upsert_sync_impl(int p, const K& k, const V& v) {
+    submit(p, BatchOp::kUpsert, k, v);
+    Ring& r = *rings_[static_cast<std::size_t>(p)];
+    const std::uint64_t ticket = r.pushed.load(std::memory_order_relaxed);
+    r.sync_waiting.store(ticket, std::memory_order_release);
+    while (r.committed.load(std::memory_order_acquire) < ticket) {
+      std::this_thread::yield();
+    }
+    r.sync_waiting.store(0, std::memory_order_release);
+  }
+
   void flatten_loop() {
     std::vector<Entry> batch;
     std::vector<std::uint64_t> from(static_cast<std::size_t>(producers_), 0);
@@ -285,6 +330,9 @@ class BatchingMap {
       if (raw_ops >= batch_target_ ||
           (raw_ops > 0 &&
            (eager || sync_stalled || idle_polls >= kIdlePatience))) {
+        if (sync_stalled && obs::enabled()) {
+          BatchingStats::get().flattener_stalls.add();
+        }
         commit(batch, from, raw_ops);
         batch.clear();
         std::fill(from.begin(), from.end(), 0);
@@ -329,6 +377,10 @@ class BatchingMap {
     for (Map* dead : vm_.release(writer_pid())) delete dead;
     ops_committed_.fetch_add(raw_ops, std::memory_order_relaxed);
     batches_committed_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) {
+      BatchingStats::get().batch_size.record(
+          static_cast<std::uint64_t>(raw_ops));
+    }
     for (int p = 0; p < producers_; ++p) {
       const std::uint64_t n = from[static_cast<std::size_t>(p)];
       if (n == 0) continue;

@@ -42,7 +42,26 @@
 #include <utility>
 #include <vector>
 
+#include "mvcc/obs/obs.h"
+
 namespace mvcc::vm {
+
+// Process-wide vm/ telemetry (obs registry handles, touched only under
+// obs::enabled()):
+//
+//   vm/live_versions_hwm   max superseded-but-unfreed versions any single
+//                          manager reached — the Theorem 3.4 bound as a
+//                          number
+//   vm/versions_retired    versions superseded by a set, across managers
+inline obs::Gauge& vm_live_versions_hwm() {
+  static obs::Gauge& g = obs::registry().gauge("vm/live_versions_hwm");
+  return g;
+}
+
+inline obs::Counter& vm_versions_retired() {
+  static obs::Counter& c = obs::registry().counter("vm/versions_retired");
+  return c;
+}
 
 // The compile-time shape of a VM algorithm; benches and the workload
 // harness template over any VM satisfying this.
@@ -78,6 +97,10 @@ class VmStats {
     std::int64_t prev = max_.load(std::memory_order_relaxed);
     while (prev < now && !max_.compare_exchange_weak(
                              prev, now, std::memory_order_relaxed)) {
+    }
+    if (obs::enabled()) {
+      vm_live_versions_hwm().update_max(now);
+      vm_versions_retired().add();
     }
   }
 

@@ -54,6 +54,24 @@
 
 namespace mvcc::vm::detail {
 
+// Freed-set telemetry of the precise algorithms (obs registry handles,
+// touched only under obs::enabled()):
+//
+//   vm/release_frees     releases whose exact freed set was non-empty
+//                        (a release frees at most its own version)
+//   vm/freed_per_sweep   distribution of versions each writer sweep
+//                        reclaimed (zeros included: the common case)
+inline obs::Counter& vm_release_frees() {
+  static obs::Counter& c = obs::registry().counter("vm/release_frees");
+  return c;
+}
+
+inline obs::LatencyHistogram& vm_freed_per_sweep() {
+  static obs::LatencyHistogram& h =
+      obs::registry().histogram("vm/freed_per_sweep");
+  return h;
+}
+
 template <class T>
 class PreciseCore : public VmStats {
  public:
@@ -89,6 +107,7 @@ class PreciseCore : public VmStats {
     if (r->word.compare_exchange_strong(expected, pack(seq_of(w0), kFree),
                                         std::memory_order_seq_cst)) {
       note_freed(1);
+      if (obs::enabled()) vm_release_frees().add();
       return {payload};
     }
     return {};  // lost the claim race: someone else freed it
@@ -202,6 +221,9 @@ class PreciseCore : public VmStats {
       retired_[out++] = r;
     }
     retired_.resize(out);
+    if (obs::enabled()) {
+      vm_freed_per_sweep().record(static_cast<std::uint64_t>(freed.size()));
+    }
     return freed;
   }
 

@@ -1,0 +1,304 @@
+// Tests for the obs/ metrics layer: histogram quantile math (empty,
+// single sample, overflow bucket, cross-bucket interpolation), striped
+// counter exactness under concurrent per-thread increments, gauge
+// high-water marks, registry identity and dump formats, and an end-to-end
+// BatchingMap run asserting that the txn/vm/ftree instrumentation actually
+// records under MVCC_STATS. Every suite name starts with "Obs" so CI's
+// TSan job can select this tier with `ctest -R '...|Obs'`.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mvcc/ftree/fmap.h"
+#include "mvcc/ftree/ops.h"
+#include "mvcc/obs/obs.h"
+#include "mvcc/txn/batching.h"
+#include "mvcc/vm/pswf.h"
+
+namespace {
+
+using namespace mvcc;
+
+// Flips stats collection on for one test body and always restores the
+// disabled default, so suites stay order-independent.
+struct ScopedStats {
+  ScopedStats() { obs::set_enabled(true); }
+  ~ScopedStats() { obs::set_enabled(false); }
+};
+
+// The worst-case relative bucket width of the log-bucketed histogram.
+constexpr double kResolution = 1.0 / (1 << obs::LatencyHistogram::kSubBits);
+
+// ---------------------------------------------------------------------------
+// Counter.
+
+TEST(ObsCounter, StartsAtZeroAndSums) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(ObsCounter, ConcurrentIncrementsSumExactly) {
+  obs::Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// Gauge.
+
+TEST(ObsGauge, UpdateMaxKeepsHighWaterMark) {
+  obs::Gauge g;
+  g.update_max(10);
+  g.update_max(3);
+  EXPECT_EQ(g.value(), 10);
+  g.update_max(17);
+  EXPECT_EQ(g.value(), 17);
+  g.set(5);
+  EXPECT_EQ(g.value(), 5);
+}
+
+TEST(ObsGauge, ConcurrentUpdateMaxConverges) {
+  obs::Gauge g;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 20000; ++i) {
+        g.update_max(static_cast<std::int64_t>(t) * 100000 + i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(g.value(), (kThreads - 1) * 100000 + 19999);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram quantile math.
+
+TEST(ObsHistogram, EmptyHistogramReadsZero) {
+  obs::LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.999), 0.0);
+}
+
+TEST(ObsHistogram, SingleSampleWithinBucketResolution) {
+  obs::LatencyHistogram h;
+  h.record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1000.0);
+  for (double q : {0.0, 0.5, 0.99, 0.999, 1.0}) {
+    EXPECT_NEAR(h.quantile(q), 1000.0, 1000.0 * kResolution) << "q=" << q;
+  }
+}
+
+TEST(ObsHistogram, IdentityRangeIsExact) {
+  // Values below 2^kSubBits occupy width-1 integer buckets and read back
+  // exactly — the freed_per_sweep distribution of mostly-zeros relies on
+  // this (an all-zero histogram must not report p50 = 0.5).
+  obs::LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.record(0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.999), 0.0);
+  h.record(3);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);
+}
+
+TEST(ObsHistogram, OverflowBucketSaturates) {
+  obs::LatencyHistogram h;
+  h.record(std::uint64_t{1} << 60);  // far beyond the covered range
+  h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.count(), 2u);
+  const double limit =
+      static_cast<double>(std::uint64_t{1} << obs::LatencyHistogram::kMaxExp);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), limit);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), limit);
+}
+
+TEST(ObsHistogram, CrossBucketInterpolation) {
+  // A uniform ramp: quantiles should track the underlying distribution to
+  // within one bucket of relative error.
+  obs::LatencyHistogram h;
+  constexpr std::uint64_t kN = 100000;
+  for (std::uint64_t v = 1; v <= kN; ++v) h.record(v);
+  EXPECT_EQ(h.count(), kN);
+  for (double q : {0.10, 0.50, 0.90, 0.99, 0.999}) {
+    const double expect = q * static_cast<double>(kN);
+    EXPECT_NEAR(h.quantile(q), expect, expect * kResolution + 1.0)
+        << "q=" << q;
+  }
+}
+
+TEST(ObsHistogram, QuantilesAreMonotone) {
+  obs::LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 4096; v += 7) h.record(v * v % 100000);
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double cur = h.quantile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+}
+
+TEST(ObsHistogram, IndexOfIsMonotoneAndInRange) {
+  std::size_t prev = 0;
+  for (std::uint64_t v = 0; v < (std::uint64_t{1} << 50);
+       v = v * 2 + 1) {
+    const std::size_t idx = obs::LatencyHistogram::index_of(v);
+    EXPECT_LT(idx, obs::LatencyHistogram::kBuckets);
+    EXPECT_GE(idx, prev);
+    prev = idx;
+  }
+}
+
+TEST(ObsHistogram, ConcurrentRecordsKeepExactCount) {
+  obs::LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.record(i * 31 + static_cast<std::uint64_t>(t));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+TEST(ObsRegistry, SameNameReturnsSameMetric) {
+  obs::Counter& a = obs::registry().counter("obstest/identity");
+  obs::Counter& b = obs::registry().counter("obstest/identity");
+  EXPECT_EQ(&a, &b);
+  obs::LatencyHistogram& ha = obs::registry().histogram("obstest/hist");
+  obs::LatencyHistogram& hb = obs::registry().histogram("obstest/hist");
+  EXPECT_EQ(&ha, &hb);
+}
+
+TEST(ObsRegistry, DumpTextEmitsFlatNameValueLines) {
+  obs::registry().counter("obstest/dump_counter").add(7);
+  obs::registry().gauge("obstest/dump_gauge").set(13);
+  obs::registry().histogram("obstest/dump_hist").record(100);
+  const std::string text = obs::registry().dump_text("pfx/");
+  EXPECT_NE(text.find("pfx/obstest/dump_counter=7"), std::string::npos);
+  EXPECT_NE(text.find("pfx/obstest/dump_gauge=13"), std::string::npos);
+  EXPECT_NE(text.find("pfx/obstest/dump_hist/count=1"), std::string::npos);
+  EXPECT_NE(text.find("pfx/obstest/dump_hist/p50="), std::string::npos);
+  EXPECT_NE(text.find("pfx/obstest/dump_hist/p999="), std::string::npos);
+}
+
+TEST(ObsRegistry, DumpJsonIsOneFlatObject) {
+  obs::registry().counter("obstest/json_counter").add(3);
+  const std::string json = obs::registry().dump_json();
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"obstest/json_counter\": 3"), std::string::npos);
+  // Flat object: no nested braces between the outer pair.
+  EXPECT_EQ(json.find('{', 1), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the instrumentation actually records.
+
+using PswfMap = txn::BatchingMap<std::uint64_t, std::uint64_t,
+                                 ftree::NoAug<std::uint64_t, std::uint64_t>,
+                                 vm::PswfVersionManager>;
+
+// The two *AreRecorded tests need live instrumentation sites; under
+// -DMVCC_STATS=OFF those sites are compiled out, so only the
+// disabled-path contract below is testable.
+#if !defined(MVCC_STATS_DISABLED)
+
+TEST(ObsBatchingE2E, CommitLatencyAndStallsAreRecorded) {
+  ScopedStats stats;
+  obs::LatencyHistogram& commit_lat =
+      obs::registry().histogram("txn/commit_latency_ns");
+  obs::LatencyHistogram& batch_size =
+      obs::registry().histogram("txn/batch_size");
+  obs::Counter& stalls = obs::registry().counter("txn/flattener_stalls");
+  const std::uint64_t lat0 = commit_lat.count();
+  const std::uint64_t sizes0 = batch_size.count();
+  const std::uint64_t stalls0 = stalls.value();
+
+  std::uint64_t batches = 0;
+  {
+    PswfMap map(2, {});
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      map.upsert_sync(static_cast<int>(i % 2), i, i * 3);
+    }
+    map.flush_all();
+    batches = map.batches_committed();
+  }
+
+  // Every upsert_sync recorded one commit-latency sample.
+  EXPECT_EQ(commit_lat.count() - lat0, 100u);
+  // Every published batch recorded its size.
+  EXPECT_EQ(batch_size.count() - sizes0, batches);
+  // Sequential sync updates park their producer on dry rings, so the
+  // flattener's stall detection must have fired.
+  EXPECT_GE(stalls.value() - stalls0, 1u);
+}
+
+TEST(ObsBatchingE2E, VmAndFtreeMetricsAreRecorded) {
+  ScopedStats stats;
+  obs::Counter& retired = obs::registry().counter("vm/versions_retired");
+  const std::uint64_t retired0 = retired.value();
+  const long long bytes0 =
+      ftree::g_live_bytes.load(std::memory_order_relaxed);
+
+  std::uint64_t batches = 0;
+  {
+    PswfMap map(1, {});
+    for (std::uint64_t i = 0; i < 200; ++i) map.upsert_sync(0, i, i);
+    batches = map.batches_committed();
+    // While the map is live, footprint high-water marks cover its tree.
+    EXPECT_GE(obs::registry().gauge("ftree/live_nodes_hwm").value(),
+              ftree::live_nodes());
+    EXPECT_GT(obs::registry().gauge("ftree/live_bytes_hwm").value(), 0);
+  }
+
+  // One version retirement per published batch.
+  EXPECT_EQ(retired.value() - retired0, batches);
+  EXPECT_GE(obs::registry().gauge("vm/live_versions_hwm").value(), 1);
+  // freed_per_sweep saw one record per writer sweep (one per set).
+  EXPECT_GE(obs::registry().histogram("vm/freed_per_sweep").count(),
+            batches);
+  // Byte-exact accounting: everything allocated under stats-on was freed.
+  EXPECT_EQ(ftree::g_live_bytes.load(std::memory_order_relaxed), bytes0);
+}
+
+#endif  // !MVCC_STATS_DISABLED
+
+TEST(ObsBatchingE2E, DisabledMeansNoRecording) {
+  obs::set_enabled(false);
+  obs::LatencyHistogram& commit_lat =
+      obs::registry().histogram("txn/commit_latency_ns");
+  const std::uint64_t lat0 = commit_lat.count();
+  {
+    PswfMap map(1, {});
+    for (std::uint64_t i = 0; i < 50; ++i) map.upsert_sync(0, i, i);
+  }
+  EXPECT_EQ(commit_lat.count(), lat0);
+}
+
+}  // namespace
