@@ -40,6 +40,9 @@ struct Result {
 
 Result run(std::size_t max_batch, int producers, double warmup,
            double seconds) {
+  // Opened before the producer threads spawn: perf inherit only covers
+  // threads created after the counters exist.
+  obs::PerfCell perf("mb" + std::to_string(max_batch));
   BMap map(producers, {}, /*buffer_capacity=*/1 << 14, max_batch);
   // Latency probes are synchronous updates, and a sync producer parks until
   // its commit. Probing on a fixed fine cadence would cap batch formation
@@ -74,14 +77,14 @@ Result run(std::size_t max_batch, int producers, double warmup,
   }
 
   std::this_thread::sleep_for(std::chrono::duration<double>(warmup));
-  const std::uint64_t ops0 = map.ops_committed();
-  const std::uint64_t batches0 = map.batches_committed();
+  obs::Delta ops_d([&map] { return map.ops_committed(); });
+  obs::Delta batches_d([&map] { return map.batches_committed(); });
   measuring.store(true, std::memory_order_relaxed);
   Timer timer;
   std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
   const double secs = timer.seconds();
-  const std::uint64_t ops = map.ops_committed() - ops0;
-  const std::uint64_t batches = map.batches_committed() - batches0;
+  const std::uint64_t ops = ops_d.delta();
+  const std::uint64_t batches = batches_d.delta();
   stop.store(true, std::memory_order_release);
   for (auto& t : threads) t.join();
   map.flush_all();
@@ -100,6 +103,7 @@ Result run(std::size_t max_batch, int producers, double warmup,
 }  // namespace
 
 int main() {
+  bench::ObsSession obs_session;
   const int producers = static_cast<int>(env_long("MVCC_THREADS", 2));
   const double warmup = bench::warmup_seconds();
   const double secs = bench::cell_seconds();

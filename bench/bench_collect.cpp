@@ -7,7 +7,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "bench_util.h"
 #include "mvcc/ftree/ops.h"
+#include "mvcc/obs/obs.h"
 #include "mvcc/plm/plm.h"
 
 namespace {
@@ -100,4 +102,20 @@ BENCHMARK(BM_PlmCollectSharedPrefix)->Arg(100)->Arg(10000);
 BENCHMARK(BM_TreeCollectWholeTree)->Arg(1000)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_TreeCollectOneVersionOfMany)->Arg(1000)->Arg(100000);
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the observability session (footprint
+// sampler, trace dump) and the hardware counters bracket exactly the
+// benchmark runs, not static init/teardown.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  {
+    mvcc::bench::ObsSession obs_session;
+    mvcc::obs::PerfCell perf("");
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  if (mvcc::obs::enabled()) {
+    std::fputs(mvcc::obs::registry().dump_text("collect/").c_str(), stdout);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -70,7 +70,8 @@ struct alignas(64) PaddedCount {
 // after the workers join, outside the measured window.
 template <class Adapter>
 CellResult run_cell(Adapter& ad, const YcsbSpec& spec,
-                    const ZipfGenerator& zipf, const Config& cfg) {
+                    const ZipfGenerator& zipf, const Config& cfg,
+                    const std::string& label) {
   constexpr std::uint64_t kSampleMask = 63;  // every 64th op in the window
   std::atomic<bool> stop{false};
   std::atomic<bool> measuring{false};
@@ -79,6 +80,9 @@ CellResult run_cell(Adapter& ad, const YcsbSpec& spec,
   obs::LatencyHistogram read_lat;
   obs::LatencyHistogram upd_lat;
 
+  // Opened before the workers spawn: perf inherit only covers threads
+  // created after the counters exist. Reports perf/<label>/* on scope exit.
+  obs::PerfCell perf(label);
   std::vector<std::thread> threads;
   for (int t = 0; t < cfg.threads; ++t) {
     threads.emplace_back([&, t] {
@@ -121,17 +125,17 @@ CellResult run_cell(Adapter& ad, const YcsbSpec& spec,
   };
   std::this_thread::sleep_for(std::chrono::duration<double>(cfg.warmup));
   measuring.store(true, std::memory_order_relaxed);
-  const std::uint64_t ops0 = total();
+  obs::Delta window_ops(total);
   Timer timer;
   std::this_thread::sleep_for(std::chrono::duration<double>(cfg.seconds));
-  const std::uint64_t ops1 = total();
+  const std::uint64_t ops = window_ops.delta();
   const double secs = timer.seconds();
   stop.store(true, std::memory_order_release);
   for (auto& t : threads) t.join();
   ad.finish();
 
   CellResult r;
-  r.mops = static_cast<double>(ops1 - ops0) / secs / 1e6;
+  r.mops = static_cast<double>(ops) / secs / 1e6;
   const double qs[3] = {0.50, 0.99, 0.999};
   for (int i = 0; i < 3; ++i) {
     r.read_us[i] = read_lat.quantile(qs[i]) / 1e3;
@@ -154,11 +158,11 @@ struct PlainAdapter {
 
 template <typename M>
 CellResult run_plain(M& m, const YcsbSpec& spec, const ZipfGenerator& zipf,
-                     const Config& cfg) {
+                     const Config& cfg, const std::string& label) {
   const auto dataset = workload::ycsb_dataset(cfg.keys);
   for (const auto& [k, v] : dataset) m.upsert(k, v);
   PlainAdapter<M> ad{m};
-  return run_cell(ad, spec, zipf, cfg);
+  return run_cell(ad, spec, zipf, cfg, label);
 }
 
 // Our batched multiversion map: reads acquire the current version through
@@ -173,7 +177,7 @@ CellResult run_plain(M& m, const YcsbSpec& spec, const ZipfGenerator& zipf,
 // to show the full-system cost the paper's Table 2 measures separately.
 template <template <typename> class VMImpl>
 CellResult run_ours(const YcsbSpec& spec, const ZipfGenerator& zipf,
-                    const Config& cfg) {
+                    const Config& cfg, const std::string& label) {
   using BMap = txn::BatchingMap<std::uint64_t, std::uint64_t,
                                 ftree::NoAug<std::uint64_t, std::uint64_t>,
                                 VMImpl>;
@@ -192,12 +196,13 @@ CellResult run_ours(const YcsbSpec& spec, const ZipfGenerator& zipf,
     }
     void finish() { m.flush_all(); }
   } ad{map};
-  return run_cell(ad, spec, zipf, cfg);
+  return run_cell(ad, spec, zipf, cfg, label);
 }
 
 }  // namespace
 
 int main() {
+  bench::ObsSession obs_session;
   Config cfg;
   cfg.keys = static_cast<std::uint64_t>(200000 * env_scale());
   cfg.threads = static_cast<int>(env_long(
@@ -217,27 +222,30 @@ int main() {
   for (int w = 0; w < 3; ++w) {
     const YcsbSpec& spec = specs[w];
     std::fprintf(stderr, "fig7: workload %s...\n", spec.name.data());
-    results[w][0] = run_ours<vm::BaseVersionManager>(spec, zipf, cfg);
-    results[w][1] = run_ours<vm::PswfVersionManager>(spec, zipf, cfg);
+    const std::string wl(spec.name);
+    results[w][0] =
+        run_ours<vm::BaseVersionManager>(spec, zipf, cfg, wl + "/ours");
+    results[w][1] =
+        run_ours<vm::PswfVersionManager>(spec, zipf, cfg, wl + "/ours+gc");
     {
       baselines::CowTreeNoBatch m;
-      results[w][2] = run_plain(m, spec, zipf, cfg);
+      results[w][2] = run_plain(m, spec, zipf, cfg, wl + "/cow-nobatch");
     }
     {
       baselines::LockFreeSkipList m;
-      results[w][3] = run_plain(m, spec, zipf, cfg);
+      results[w][3] = run_plain(m, spec, zipf, cfg, wl + "/skiplist");
     }
     {
       baselines::ExternalBst m;
-      results[w][4] = run_plain(m, spec, zipf, cfg);
+      results[w][4] = run_plain(m, spec, zipf, cfg, wl + "/ext-bst");
     }
     {
       baselines::BPlusTree m;
-      results[w][5] = run_plain(m, spec, zipf, cfg);
+      results[w][5] = run_plain(m, spec, zipf, cfg, wl + "/b+tree");
     }
     {
       baselines::ShardedHashMap m(cfg.keys * 2);
-      results[w][6] = run_plain(m, spec, zipf, cfg);
+      results[w][6] = run_plain(m, spec, zipf, cfg, wl + "/hash");
     }
   }
 

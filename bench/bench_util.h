@@ -12,6 +12,10 @@
 #include <vector>
 
 #include "mvcc/common/env.h"
+#include "mvcc/ftree/ops.h"
+#include "mvcc/obs/obs.h"
+#include "mvcc/txn/batching.h"
+#include "mvcc/vm/base.h"
 
 namespace mvcc::bench {
 
@@ -91,5 +95,52 @@ inline double warmup_seconds() {
 inline int reader_threads() {
   return static_cast<int>(env_long("MVCC_READERS", 3));
 }
+
+// Per-process observability session for the experiment binaries: construct
+// one in main() around the measured work. Under MVCC_STATS=1 it registers
+// every subsystem's footprint probes and, when MVCC_SAMPLE_MS > 0, starts
+// the background sampler; on destruction it stops the sampler, writes the
+// footprint CSV (MVCC_SAMPLE_OUT, default footprint.csv), and dumps the
+// event trace to MVCC_TRACE when tracing is active. Stats off: all no-ops —
+// no threads, no files.
+class ObsSession {
+ public:
+  ObsSession() {
+    if (!obs::enabled()) return;
+    ftree::register_footprint_probes();
+    vm::register_vm_probes();
+    txn::register_txn_probes();
+    const long period_ms = env_long("MVCC_SAMPLE_MS", 0);
+    if (period_ms > 0) {
+      sampling_ = obs::Sampler::instance().start(period_ms);
+    }
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  ~ObsSession() {
+    if (sampling_) {
+      auto& sampler = obs::Sampler::instance();
+      sampler.stop();
+      const std::string out = env_string("MVCC_SAMPLE_OUT", "footprint.csv");
+      if (sampler.dump_csv_to_file(out)) {
+        std::fprintf(stderr, "[obs] footprint samples (%zu rows) -> %s\n",
+                     sampler.rows().size(), out.c_str());
+      }
+    }
+    if (obs::trace_on() && !obs::trace_path().empty()) {
+      auto& tracer = obs::Tracer::instance();
+      if (tracer.dump_json_to_file(obs::trace_path())) {
+        std::fprintf(stderr, "[obs] trace (%llu events) -> %s\n",
+                     static_cast<unsigned long long>(tracer.events_emitted()),
+                     obs::trace_path().c_str());
+      }
+    }
+  }
+
+ private:
+  bool sampling_ = false;
+};
 
 }  // namespace mvcc::bench

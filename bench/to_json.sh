@@ -6,7 +6,8 @@
 # record (bench-smoke.json) and the trajectory of the repo's throughput,
 # latency quantiles and memory footprint can be graphed across commits.
 #
-# Usage: to_json.sh fig7.txt table3.txt [batching.txt] > bench-smoke.json
+# Usage: to_json.sh fig7.txt table3.txt [batching.txt] [footprint.csv] \
+#            > bench-smoke.json
 #
 # Emitted keys:
 #   fig7/<workload>/<structure>_mops    YCSB throughput, Mop/s
@@ -14,6 +15,8 @@
 #   table3/p<N>/<column>_s              inverted-index phase times, seconds
 #                                       (Tu+Tq -> TuplusTq, Tu+q -> Tuplusq)
 #   batching/mb<N>/<column>             batch-bound sweep row, per max_batch
+#   footprint/<column>/peak|mean|final  footprint-curve summary per sampler
+#                                       column (MVCC_SAMPLE_MS CSV)
 #   <bench>/<metric>[/<stat>]           obs registry dumps, already
 #                                       namespaced by the emitting bench
 #                                       (e.g. fig7/ftree/live_nodes_hwm,
@@ -27,6 +30,7 @@ set -eu
 fig7="${1:-fig7-smoke.txt}"
 table3="${2:-table3-smoke.txt}"
 batching="${3:-}"
+footprint="${4:-}"
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -85,6 +89,32 @@ parse_batching() {
   metric_lines "$1"
 }
 
+# Footprint-over-time curve (sampler CSV: t_ms,col,...) summarized to
+# peak/mean/final per column — enough to spot a footprint regression in the
+# archived JSON without re-plotting the curve.
+parse_footprint() {
+  awk -F, '
+    NR == 1 { n = split($0, cols, ","); next }
+    {
+      for (i = 2; i <= n; i++) {
+        v = $i + 0
+        if (count[i] == 0 || v > peak[i]) peak[i] = v
+        sum[i] += v
+        fin[i] = v
+        count[i]++
+      }
+    }
+    END {
+      for (i = 2; i <= n; i++) {
+        if (count[i] == 0) continue
+        printf "footprint/%s/peak=%d\n", cols[i], peak[i]
+        printf "footprint/%s/mean=%.3f\n", cols[i], sum[i] / count[i]
+        printf "footprint/%s/final=%d\n", cols[i], fin[i]
+      }
+    }
+  ' "$1"
+}
+
 require_metrics() {
   if ! [ -s "$1" ]; then
     echo "to_json.sh: zero metrics parsed from $2 (table header drift?)" >&2
@@ -101,6 +131,11 @@ if [ -n "$batching" ]; then
   parse_batching "$batching" > "$tmp/batching"
   require_metrics "$tmp/batching" "$batching"
   cat "$tmp/batching" >> "$tmp/all"
+fi
+if [ -n "$footprint" ]; then
+  parse_footprint "$footprint" > "$tmp/footprint"
+  require_metrics "$tmp/footprint" "$footprint"
+  cat "$tmp/footprint" >> "$tmp/all"
 fi
 
 awk -F= '

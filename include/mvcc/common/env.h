@@ -12,6 +12,15 @@
 //                 duration-based bench cell                    (default 0.1)
 //   MVCC_STATS    1 enables the obs/ metrics layer (see obs/obs.h);
 //                 unset/0 keeps instrumentation disabled       (default 0)
+//   MVCC_SAMPLE_MS  footprint sampler period, ms; 0 disables the sampler
+//                 thread entirely (see obs/sampler.h)          (default 0)
+//   MVCC_SAMPLE_OUT path the benches write the footprint CSV to
+//                 when the sampler ran             (default footprint.csv)
+//   MVCC_TRACE    output path for the Chrome-trace event dump; unset
+//                 disables tracing (see obs/trace.h)        (default off)
+//   MVCC_PERF     1 opens perf_event hardware counters per bench cell
+//                 (see obs/perf.h; silent no-op where the syscall is
+//                 unavailable)                                 (default 0)
 #pragma once
 
 #include <cstdlib>
@@ -36,6 +45,12 @@ inline double env_double(const char* name, double def) {
   char* end = nullptr;
   const double v = std::strtod(s, &end);
   return (end == nullptr || *end != '\0') ? def : v;
+}
+
+// Reads a string from the environment; returns `def` when unset.
+inline std::string env_string(const char* name, const char* def = "") {
+  const char* s = std::getenv(name);
+  return std::string(s != nullptr ? s : def);
 }
 
 // The raw MVCC_SCALE multiplier (default 1.0). Benches that compute their

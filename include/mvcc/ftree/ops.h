@@ -78,6 +78,21 @@ inline void note_nodes_freed(std::size_t bytes) {
                          std::memory_order_relaxed);
 }
 
+// Registers the tree's footprint gauges with the obs sampler, so a
+// sampling run records live_nodes/live_bytes CURVES (the space-bounded
+// MVGC plots), not just the high-water marks above. Idempotent; called by
+// the bench glue before the sampler starts.
+inline void register_footprint_probes() {
+  obs::Sampler::instance().register_probe("ftree/live_nodes", [] {
+    return static_cast<std::int64_t>(
+        g_live_nodes.load(std::memory_order_relaxed));
+  });
+  obs::Sampler::instance().register_probe("ftree/live_bytes", [] {
+    return static_cast<std::int64_t>(
+        g_live_bytes.load(std::memory_order_relaxed));
+  });
+}
+
 // Augmentation that carries nothing; the default for plain maps.
 template <class K, class V>
 struct NoAug {
@@ -164,6 +179,10 @@ std::size_t collect(Node<K, V, A>* t) {
       t->refs.fetch_sub(1, std::memory_order_acq_rel) != 1) {
     return 0;
   }
+  // Collect pauses are the timeline event GC papers plot; the span only
+  // covers calls that actually free (the early returns above are the hot
+  // no-op path). Nested collects through ~V emit nested spans.
+  obs::TraceSpan span("ftree/collect");
   std::size_t freed = 0;
   // The thread-local stack is reused across calls so steady-state version
   // drops don't reallocate it — but `delete dead` can reenter collect at
@@ -198,6 +217,7 @@ std::size_t collect(Node<K, V, A>* t) {
   g_live_nodes.fetch_sub(static_cast<long long>(freed),
                          std::memory_order_relaxed);
   if (obs::enabled()) note_nodes_freed(freed * sizeof(Node<K, V, A>));
+  span.set_arg(freed);
   return freed;
 }
 

@@ -38,6 +38,18 @@ class LatencyHistogram {
   void record(std::uint64_t v) {
     buckets_[index_of(v)].fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(v, std::memory_order_relaxed);
+    // Exact running minimum: one relaxed load per record, CAS only while
+    // the minimum is actually falling (a handful of times per run).
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  // Smallest recorded value, exact (not bucket-resolved); 0 when empty.
+  std::uint64_t min() const {
+    const std::uint64_t m = min_.load(std::memory_order_relaxed);
+    return m == ~std::uint64_t{0} ? 0 : m;
   }
 
   std::uint64_t count() const {
@@ -97,10 +109,28 @@ class LatencyHistogram {
            static_cast<std::size_t>(sub);
   }
 
- private:
-  static constexpr std::uint64_t kSubMask =
-      (std::uint64_t{1} << kSubBits) - 1;
+  // Non-empty buckets as a JSON array of [lower, upper, count] triples, so
+  // external tools can re-plot the full distribution (not just the
+  // quantiles the flat dumps carry) without re-running the bench.
+  std::string buckets_json() const {
+    std::string out = "[";
+    bool first = true;
+    char buf[96];
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+      if (c == 0) continue;
+      std::snprintf(buf, sizeof(buf), "%s[%.0f, %.0f, %llu]",
+                    first ? "" : ", ", bucket_lower(i), bucket_upper(i),
+                    static_cast<unsigned long long>(c));
+      first = false;
+      out += buf;
+    }
+    out += "]";
+    return out;
+  }
 
+  // Bucket boundaries, public so dumps and tests can label distributions:
+  // bucket i covers [bucket_lower(i), bucket_upper(i)).
   static double bucket_lower(std::size_t i) {
     if (i < (std::size_t{1} << kSubBits)) return static_cast<double>(i);
     if (i == kBuckets - 1) {
@@ -126,8 +156,13 @@ class LatencyHistogram {
            static_cast<double>(std::uint64_t{1} << (top - kSubBits));
   }
 
+ private:
+  static constexpr std::uint64_t kSubMask =
+      (std::uint64_t{1} << kSubBits) - 1;
+
   std::atomic<std::uint64_t> buckets_[kBuckets]{};
   std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
 };
 
 }  // namespace mvcc::obs

@@ -25,7 +25,10 @@
 #include "mvcc/common/env.h"
 #include "mvcc/obs/counter.h"
 #include "mvcc/obs/histogram.h"
+#include "mvcc/obs/perf.h"
 #include "mvcc/obs/registry.h"
+#include "mvcc/obs/sampler.h"
+#include "mvcc/obs/trace.h"
 
 namespace mvcc::obs {
 

@@ -8,8 +8,10 @@
 // share a metric by agreeing on its name.
 //
 // dump_text emits one flat `name=value` line per scalar — histograms
-// expand to name/count, name/mean, name/p50, name/p99, name/p999 — and
-// dump_json the same keys as one flat JSON object. Both take an optional
+// expand to name/count, name/min, name/mean, name/p50, name/p99,
+// name/p999 — and dump_json the same keys as one flat JSON object, plus a
+// name/buckets array of [lower, upper, count] triples per histogram so
+// external tools can re-plot full distributions. Both take an optional
 // prefix so multi-process pipelines (each bench dumps its own registry)
 // can namespace their lines before a collector merges them.
 #pragma once
@@ -90,11 +92,13 @@ class Registry {
     return out;
   }
 
-  // One flat JSON object over the same keys as dump_text.
+  // One flat JSON object over the same keys as dump_text, plus one
+  // name/buckets array per histogram (arrays stay out of the text format,
+  // whose consumers expect scalar name=value lines).
   std::string dump_json(const std::string& prefix = "") const {
     std::string out = "{";
     bool first = true;
-    for (const auto& [name, value] : flat_values(prefix)) {
+    for (const auto& [name, value] : flat_values(prefix, true)) {
       out += first ? "\n" : ",\n";
       first = false;
       out += "  \"";
@@ -116,7 +120,7 @@ class Registry {
   }
 
   std::map<std::string, std::string> flat_values(
-      const std::string& prefix) const {
+      const std::string& prefix, bool include_buckets = false) const {
     std::lock_guard<std::mutex> lock(mu_);
     std::map<std::string, std::string> out;
     for (const auto& [name, c] : counters_) {
@@ -127,10 +131,14 @@ class Registry {
     }
     for (const auto& [name, h] : histograms_) {
       out[prefix + name + "/count"] = std::to_string(h->count());
+      out[prefix + name + "/min"] = std::to_string(h->min());
       out[prefix + name + "/mean"] = fmt_double(h->mean());
       out[prefix + name + "/p50"] = fmt_double(h->quantile(0.50));
       out[prefix + name + "/p99"] = fmt_double(h->quantile(0.99));
       out[prefix + name + "/p999"] = fmt_double(h->quantile(0.999));
+      if (include_buckets) {
+        out[prefix + name + "/buckets"] = h->buckets_json();
+      }
     }
     return out;
   }

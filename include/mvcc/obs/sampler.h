@@ -1,0 +1,223 @@
+// Time-series footprint sampler: periodic snapshots of registered probes.
+//
+// The metrics layer so far records high-water marks; the space-bounded
+// MVGC follow-up papers (arXiv 2108.02775, 2212.13557) evaluate collectors
+// by the CURVE of live space over time, which a single max cannot show. A
+// Sampler closes that gap: subsystems register named probes (a probe is a
+// callable returning the current value of a gauge-like quantity, e.g.
+// ftree/live_bytes), start() fixes the column set and spawns a background
+// thread that snapshots every probe each period into a bounded ring of
+// timestamped rows, and dump_csv() emits the retained window as
+// `t_ms,col,...` CSV for plotting footprint-over-time curves.
+//
+// Design points:
+//   * The ring is bounded (default 4096 rows) and overwrites oldest, so a
+//     long run retains the most recent window instead of growing without
+//     bound; rows() / dump_csv() return the survivors oldest-first.
+//   * start() takes an initial sample and stop() takes a final one, so
+//     even a run shorter than one period produces a two-point curve whose
+//     endpoints bracket the workload.
+//   * Columns are fixed at start(): probes registered later join the next
+//     start. register_probe is idempotent by name (re-registration
+//     replaces the callable), so subsystem registration helpers may be
+//     called any number of times.
+//   * start(0, cap) is manual mode — no thread; tests drive sample_once()
+//     for deterministic ring-wrap coverage.
+//
+// Sampling is mutex-serialized against registration and dumping; the
+// sampled SUBSYSTEMS stay lock-free (probes read relaxed atomics). Nothing
+// here runs unless a bench or test explicitly starts the sampler — the
+// bench glue (bench_util.h ObsSession) gates that on obs::enabled() and
+// MVCC_SAMPLE_MS > 0, so a stats-off run has no sampler thread and no
+// sampler allocations.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mvcc::obs {
+
+class Sampler {
+ public:
+  struct Row {
+    double t_ms;                       // since start(), monotone
+    std::vector<std::int64_t> values;  // one per column, column order
+  };
+
+  Sampler() = default;
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+  ~Sampler() { stop(); }
+
+  // The process-wide sampler the subsystem registration helpers and the
+  // bench glue share; standalone instances work identically (tests).
+  static Sampler& instance() {
+    static Sampler s;
+    return s;
+  }
+
+  // Registers (or replaces) a named probe. Takes effect at the next
+  // start(); safe to call at any time from any thread.
+  void register_probe(std::string name, std::function<std::int64_t()> fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [n, f] : probes_) {
+      if (n == name) {
+        f = std::move(fn);
+        return;
+      }
+    }
+    probes_.emplace_back(std::move(name), std::move(fn));
+  }
+
+  // Fixes the column set, clears the ring, takes the initial sample, and —
+  // for period_ms > 0 — spawns the sampling thread. period_ms == 0 is
+  // manual mode (callers drive sample_once()). Returns false when already
+  // running or period_ms is negative.
+  bool start(long period_ms, std::size_t capacity = 4096) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (running_ || period_ms < 0 || capacity == 0) return false;
+    cols_.clear();
+    fns_.clear();
+    for (const auto& [n, f] : probes_) {
+      cols_.push_back(n);
+      fns_.push_back(f);
+    }
+    ring_.assign(capacity, Row{});
+    taken_ = 0;
+    epoch_ = Clock::now();
+    running_ = true;
+    stop_requested_ = false;
+    sample_locked();
+    if (period_ms > 0) {
+      thread_ = std::thread([this, period_ms] { run(period_ms); });
+    }
+    return true;
+  }
+
+  // Joins the thread (if any) and takes the final sample, so the last row
+  // reflects the state at stop time. Idempotent.
+  void stop() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!running_) return;
+      stop_requested_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+    std::lock_guard<std::mutex> lock(mu_);
+    sample_locked();
+    running_ = false;
+  }
+
+  bool running() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return running_;
+  }
+
+  // One snapshot of every column, timestamped now. No-op unless started.
+  void sample_once() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) sample_locked();
+  }
+
+  // Total samples taken since start(), including rows the ring has since
+  // overwritten.
+  std::uint64_t samples_taken() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return taken_;
+  }
+
+  std::vector<std::string> columns() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cols_;
+  }
+
+  // Retained rows, oldest first.
+  std::vector<Row> rows() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Row> out;
+    const std::uint64_t cap = ring_.size();
+    const std::uint64_t n = taken_ < cap ? taken_ : cap;
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = taken_ - n; i < taken_; ++i) {
+      out.push_back(ring_[static_cast<std::size_t>(i % cap)]);
+    }
+    return out;
+  }
+
+  // `t_ms,col,...` header plus one line per retained row, oldest first.
+  std::string dump_csv() const {
+    std::string out = "t_ms";
+    for (const std::string& c : columns()) {
+      out += ',';
+      out += c;
+    }
+    out += '\n';
+    for (const Row& r : rows()) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3f", r.t_ms);
+      out += buf;
+      for (std::int64_t v : r.values) {
+        out += ',';
+        out += std::to_string(v);
+      }
+      out += '\n';
+    }
+    return out;
+  }
+
+  // Writes dump_csv() to `path`; false on I/O failure.
+  bool dump_csv_to_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string csv = dump_csv();
+    const bool ok = std::fwrite(csv.data(), 1, csv.size(), f) == csv.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void run(long period_ms) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_.wait_for(lock, std::chrono::milliseconds(period_ms),
+                   [this] { return stop_requested_; });
+      if (stop_requested_) return;
+      sample_locked();
+    }
+  }
+
+  void sample_locked() {
+    Row r;
+    r.t_ms = std::chrono::duration<double, std::milli>(Clock::now() - epoch_)
+                 .count();
+    r.values.reserve(fns_.size());
+    for (const auto& f : fns_) r.values.push_back(f());
+    ring_[static_cast<std::size_t>(taken_ % ring_.size())] = std::move(r);
+    ++taken_;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::pair<std::string, std::function<std::int64_t()>>> probes_;
+  std::vector<std::string> cols_;                   // fixed at start()
+  std::vector<std::function<std::int64_t()>> fns_;  // parallel to cols_
+  std::vector<Row> ring_;
+  std::uint64_t taken_ = 0;
+  Clock::time_point epoch_{};
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+}  // namespace mvcc::obs

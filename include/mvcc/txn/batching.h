@@ -82,6 +82,21 @@ struct BatchingStats {
   }
 };
 
+// Ops submitted but not yet drained by a flattener, summed across every
+// live BatchingMap — the queue depth the footprint sampler plots.
+// Maintained only under obs::enabled() (producers are the hot path).
+inline std::atomic<std::int64_t> g_queue_depth{0};
+
+// Registers the queue-depth probe with the obs sampler. Idempotent;
+// called by every BatchingMap constructor and by the bench glue (the
+// latter so the column exists even when the sampler starts before the
+// first map is built).
+inline void register_txn_probes() {
+  obs::Sampler::instance().register_probe("txn/queue_depth", [] {
+    return g_queue_depth.load(std::memory_order_relaxed);
+  });
+}
+
 // The operations a producer may submit. Updates are upserts today; the enum
 // leaves room for deletes once the tree grows a bulk difference path.
 enum class BatchOp : std::uint8_t { kUpsert };
@@ -137,7 +152,10 @@ class BatchingMap {
     }
     // Register the txn/ metrics up front so a stats-on run exports them
     // even when an event (a stall, a reject) never fires.
-    if (obs::enabled()) (void)BatchingStats::get();
+    if (obs::enabled()) {
+      (void)BatchingStats::get();
+      register_txn_probes();
+    }
     flattener_ = std::thread([this] { flatten_loop(); });
   }
 
@@ -174,6 +192,7 @@ class BatchingMap {
     s.val = v;
     s.op = op;
     r.pushed.store(t + 1, std::memory_order_release);
+    if (obs::enabled()) g_queue_depth.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Synchronous update: stamps a ticket at submission and waits until the
@@ -291,6 +310,9 @@ class BatchingMap {
     std::size_t raw_ops = 0;
     int idle_polls = 0;
     int cursor = 0;
+    // Timestamp of the first op drained into the in-flight batch; 0 while
+    // the batch is empty. Spans batch formation in the trace.
+    std::uint64_t form_t0 = 0;
     for (;;) {
       const bool stopping = stop_.load(std::memory_order_acquire);
       const bool eager =
@@ -315,7 +337,12 @@ class BatchingMap {
         }
         r.popped.store(head + take, std::memory_order_release);
         from[static_cast<std::size_t>(p)] += take;
+        if (raw_ops == 0 && obs::trace_on()) form_t0 = obs::trace_now_ns();
         raw_ops += take;
+        if (obs::enabled()) {
+          g_queue_depth.fetch_sub(static_cast<std::int64_t>(take),
+                                  std::memory_order_relaxed);
+        }
         drained = true;
       }
       // Rotate the drain origin so no producer is starved when the batch
@@ -332,6 +359,11 @@ class BatchingMap {
            (eager || sync_stalled || idle_polls >= kIdlePatience))) {
         if (sync_stalled && obs::enabled()) {
           BatchingStats::get().flattener_stalls.add();
+          obs::trace_instant("txn/flattener_stall", raw_ops);
+        }
+        if (form_t0 != 0) {
+          obs::trace_complete_since("txn/batch_form", form_t0, raw_ops);
+          form_t0 = 0;
         }
         commit(batch, from, raw_ops);
         batch.clear();
@@ -368,6 +400,7 @@ class BatchingMap {
   // waiters and admission control).
   void commit(std::vector<Entry>& batch, const std::vector<std::uint64_t>& from,
               std::size_t raw_ops) {
+    obs::TraceSpan span("txn/flattener_commit", raw_ops);
     Map* cur = vm_.acquire(writer_pid());
     ftree::prepare_batch(batch);
     Map next = cur->multi_inserted(std::span<const Entry>(batch));

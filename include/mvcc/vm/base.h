@@ -63,6 +63,21 @@ inline obs::Counter& vm_versions_retired() {
   return c;
 }
 
+// Current superseded-but-unfreed versions, summed across every live
+// manager — the instantaneous value whose maximum the hwm gauge keeps.
+// Maintained unconditionally (one relaxed add per version retirement,
+// nowhere near a hot path) so the sampler can plot the paper's
+// uncollected-version curve over time.
+inline std::atomic<std::int64_t> g_live_versions{0};
+
+// Registers the live-version probe with the obs sampler. Idempotent;
+// called by the bench glue before the sampler starts.
+inline void register_vm_probes() {
+  obs::Sampler::instance().register_probe("vm/live_versions", [] {
+    return g_live_versions.load(std::memory_order_relaxed);
+  });
+}
+
 // The compile-time shape of a VM algorithm; benches and the workload
 // harness template over any VM satisfying this.
 template <class VM, class T>
@@ -94,6 +109,7 @@ class VmStats {
  protected:
   void note_retired() {
     const std::int64_t now = live_.fetch_add(1, std::memory_order_relaxed) + 1;
+    g_live_versions.fetch_add(1, std::memory_order_relaxed);
     std::int64_t prev = max_.load(std::memory_order_relaxed);
     while (prev < now && !max_.compare_exchange_weak(
                              prev, now, std::memory_order_relaxed)) {
@@ -102,10 +118,12 @@ class VmStats {
       vm_live_versions_hwm().update_max(now);
       vm_versions_retired().add();
     }
+    obs::trace_instant("vm/retire");
   }
 
   void note_freed(std::int64_t n) {
     live_.fetch_sub(n, std::memory_order_relaxed);
+    g_live_versions.fetch_sub(n, std::memory_order_relaxed);
   }
 
  private:

@@ -108,6 +108,7 @@ class PreciseCore : public VmStats {
                                         std::memory_order_seq_cst)) {
       note_freed(1);
       if (obs::enabled()) vm_release_frees().add();
+      obs::trace_instant("vm/release_free");
       return {payload};
     }
     return {};  // lost the claim race: someone else freed it
@@ -197,6 +198,7 @@ class PreciseCore : public VmStats {
   // payloads. After a sweep every surviving retired version is announced
   // by some process, so at most P survive — the O(P) uncollected bound.
   std::vector<T*> sweep() {
+    obs::TraceSpan span("vm/sweep");
     std::vector<T*> freed;
     std::size_t out = 0;
     for (Rec* r : retired_) {
@@ -224,6 +226,7 @@ class PreciseCore : public VmStats {
     if (obs::enabled()) {
       vm_freed_per_sweep().record(static_cast<std::uint64_t>(freed.size()));
     }
+    span.set_arg(freed.size());
     return freed;
   }
 

@@ -45,6 +45,7 @@ class PslfVersionManager : public detail::PreciseCore<T> {
       v = this->current_.load(std::memory_order_seq_cst);
       slot.store(v, std::memory_order_seq_cst);
     } while (this->current_.load(std::memory_order_seq_cst) != v);
+    obs::trace_instant("vm/acquire");
     return v->payload.load(std::memory_order_relaxed);
   }
 

@@ -55,6 +55,7 @@ class PswfVersionManager : public detail::PreciseCore<T> {
                                       std::memory_order_seq_cst)) {
       v = expected;  // the writer helped us to the version it published
     }
+    obs::trace_instant("vm/acquire");
     return v->payload.load(std::memory_order_relaxed);
   }
 

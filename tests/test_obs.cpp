@@ -7,6 +7,7 @@
 // TSan job can select this tier with `ctest -R '...|Obs'`.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -288,6 +289,238 @@ TEST(ObsBatchingE2E, VmAndFtreeMetricsAreRecorded) {
 }
 
 #endif  // !MVCC_STATS_DISABLED
+
+// ---------------------------------------------------------------------------
+// Delta snapshots.
+
+TEST(ObsDelta, MeasuresGrowthSinceConstruction) {
+  obs::Counter c;
+  c.add(10);
+  auto d = obs::snapshot(c);
+  EXPECT_EQ(d.delta(), 0u);
+  c.add(32);
+  EXPECT_EQ(d.delta(), 32u);
+  d.rebase();
+  EXPECT_EQ(d.delta(), 0u);
+  std::uint64_t raw = 100;
+  obs::Delta fn([&raw] { return raw; });
+  raw = 107;
+  EXPECT_EQ(fn.delta(), 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram min and bucket export.
+
+TEST(ObsHistogram, MinIsExactNotBucketResolved) {
+  obs::LatencyHistogram h;
+  EXPECT_EQ(h.min(), 0u);  // empty reads zero
+  h.record(1000);
+  h.record(37);
+  h.record(999999);
+  EXPECT_EQ(h.min(), 37u);
+}
+
+TEST(ObsHistogram, BucketsJsonListsNonEmptyBucketsOnly) {
+  obs::LatencyHistogram h;
+  EXPECT_EQ(h.buckets_json(), "[]");
+  h.record(2);
+  h.record(2);
+  h.record(2);
+  EXPECT_EQ(h.buckets_json(), "[[2, 3, 3]]");  // identity bucket [2, 3) x3
+}
+
+TEST(ObsRegistry, DumpsCarryMinAndBuckets) {
+  obs::registry().histogram("obstest/minbuckets").record(5);
+  const std::string text = obs::registry().dump_text();
+  EXPECT_NE(text.find("obstest/minbuckets/min=5"), std::string::npos);
+  // Arrays stay out of the scalar text format.
+  EXPECT_EQ(text.find("obstest/minbuckets/buckets"), std::string::npos);
+  const std::string json = obs::registry().dump_json();
+  EXPECT_NE(json.find("\"obstest/minbuckets/min\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"obstest/minbuckets/buckets\": [[5, 6, 1]]"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Footprint sampler.
+
+TEST(ObsSampler, NotStartedHasNoRows) {
+  obs::Sampler s;
+  EXPECT_FALSE(s.running());
+  s.sample_once();  // no-op before start
+  EXPECT_EQ(s.samples_taken(), 0u);
+  EXPECT_TRUE(s.rows().empty());
+  EXPECT_EQ(s.dump_csv(), "t_ms\n");
+}
+
+TEST(ObsSampler, ManualModeRingWrapKeepsNewestRows) {
+  obs::Sampler s;
+  std::int64_t x = 0;
+  s.register_probe("x", [&x] { return x; });
+  ASSERT_TRUE(s.start(0, 4));
+  EXPECT_FALSE(s.start(0, 4));  // already running
+  for (int i = 1; i <= 9; ++i) {
+    x = i;
+    s.sample_once();
+  }
+  s.stop();                           // takes the final sample (x == 9)
+  EXPECT_EQ(s.samples_taken(), 11u);  // initial + 9 manual + final
+  const auto rows = s.rows();
+  ASSERT_EQ(rows.size(), 4u);  // ring capacity retains the newest window
+  EXPECT_EQ(rows[0].values[0], 7);
+  EXPECT_EQ(rows[3].values[0], 9);
+  double prev = -1.0;
+  for (const auto& r : rows) {
+    EXPECT_GE(r.t_ms, prev);  // timestamps stay monotone across the wrap
+    prev = r.t_ms;
+  }
+}
+
+TEST(ObsSampler, CsvHasFixedColumnsAndOneLinePerRow) {
+  obs::Sampler s;
+  s.register_probe("a", [] { return 1; });
+  s.register_probe("b", [] { return 2; });
+  s.register_probe("a", [] { return 7; });  // re-registration replaces
+  ASSERT_TRUE(s.start(0, 16));
+  s.sample_once();
+  s.stop();
+  const auto cols = s.columns();
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], "a");
+  EXPECT_EQ(cols[1], "b");
+  const std::string csv = s.dump_csv();
+  EXPECT_EQ(csv.rfind("t_ms,a,b\n", 0), 0u);  // header first
+  int lines = 0;
+  for (char ch : csv) lines += ch == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 4);  // header + initial + manual + final
+  EXPECT_NE(csv.find(",7,2\n"), std::string::npos);
+}
+
+TEST(ObsSampler, BackgroundThreadSamplesUntilStopped) {
+  obs::Sampler s;
+  std::atomic<std::int64_t> v{0};
+  s.register_probe("v", [&v] { return v.load(std::memory_order_relaxed); });
+  ASSERT_TRUE(s.start(1));
+  EXPECT_TRUE(s.running());
+  v.store(5, std::memory_order_relaxed);
+  while (s.samples_taken() < 3) std::this_thread::yield();
+  s.stop();
+  EXPECT_FALSE(s.running());
+  EXPECT_GE(s.samples_taken(), 4u);  // >= 3 waited for, plus the final one
+  EXPECT_EQ(s.rows().back().values[0], 5);
+  s.stop();  // idempotent
+  // Restartable after a stop.
+  ASSERT_TRUE(s.start(0, 4));
+  s.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Event tracer.
+
+#if !defined(MVCC_STATS_DISABLED)
+
+// Forces tracing on for one test body and restores the off default.
+struct ScopedTrace {
+  ScopedTrace() {
+    obs::set_trace_enabled(true);
+    obs::Tracer::instance().reset_for_test();
+  }
+  ~ScopedTrace() { obs::set_trace_enabled(false); }
+};
+
+TEST(ObsTrace, SpansAndInstantsLandInChromeJson) {
+  ScopedTrace trace;
+  {
+    obs::TraceSpan span("obstest/span", 1);
+    span.set_arg(42);
+  }
+  obs::trace_instant("obstest/instant", 7);
+  const std::string json = obs::Tracer::instance().dump_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"obstest/span\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"v\": 42}"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"obstest/instant\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\": \"t\""), std::string::npos);
+}
+
+TEST(ObsTrace, ConcurrentEmissionCountsEveryEvent) {
+  ScopedTrace trace;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        obs::TraceSpan span("obstest/worker",
+                            static_cast<std::uint64_t>(i));
+        obs::trace_instant("obstest/tick");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(obs::Tracer::instance().events_emitted(),
+            std::uint64_t{2} * kThreads * kPerThread);
+}
+
+#endif  // !MVCC_STATS_DISABLED
+
+TEST(ObsTrace, DisabledEmitsNothingAndDumpsValidJson) {
+  obs::set_trace_enabled(false);
+  obs::Tracer::instance().reset_for_test();
+  { obs::TraceSpan span("obstest/off"); }
+  obs::trace_instant("obstest/off");
+  EXPECT_EQ(obs::Tracer::instance().events_emitted(), 0u);
+  const std::string json = obs::Tracer::instance().dump_json();
+  EXPECT_NE(json.find("\"traceEvents\": []"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Hardware counters.
+
+TEST(ObsPerf, UnopenedCountersReadInvalidAndReportNothing) {
+  obs::PerfCounters pc(/*open=*/false);
+  EXPECT_FALSE(pc.available());
+  pc.start();  // all no-ops on closed fds
+  pc.stop();
+  const auto r = pc.read();
+  for (int i = 0; i < obs::PerfCounters::kEvents; ++i) {
+    EXPECT_FALSE(r.valid[i]);
+    EXPECT_EQ(r.value[i], 0u);
+  }
+  pc.report("obstest-none");
+  EXPECT_EQ(obs::registry().dump_text().find("perf/obstest-none"),
+            std::string::npos);
+}
+
+TEST(ObsPerf, OpenEitherCountsOrDegradesGracefully) {
+  // perf_event_open commonly fails in CI containers; both outcomes are
+  // in-contract. What must not happen is a crash or a valid-but-zero read.
+  obs::PerfCounters pc;
+  pc.start();
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < 100000; ++i) sink = sink + i;
+  pc.stop();
+  const auto r = pc.read();
+  if (pc.available()) {
+    bool any = false;
+    for (int i = 0; i < obs::PerfCounters::kEvents; ++i) any |= r.valid[i];
+    EXPECT_TRUE(any);
+  } else {
+    for (int i = 0; i < obs::PerfCounters::kEvents; ++i) {
+      EXPECT_FALSE(r.valid[i]);
+    }
+  }
+}
+
+TEST(ObsPerf, PerfCellIsNoOpWhenNotRequested) {
+  // MVCC_PERF is unset in the test environment, so the cell never opens
+  // counters and never reports.
+  { obs::PerfCell cell("obstest-cell"); }
+  EXPECT_EQ(obs::registry().dump_text().find("perf/obstest-cell"),
+            std::string::npos);
+}
 
 TEST(ObsBatchingE2E, DisabledMeansNoRecording) {
   obs::set_enabled(false);
