@@ -21,6 +21,12 @@
 //   MVCC_PERF     1 opens perf_event hardware counters per bench cell
 //                 (see obs/perf.h; silent no-op where the syscall is
 //                 unavailable)                                 (default 0)
+//   MVCC_GRAIN    fork-join grain for the bulk tree ops: a recursive
+//                 subproblem below this many nodes stays sequential
+//                 (see ftree/ops.h bulk_grain)              (default 2048)
+//   MVCC_BG_RECLAIM  1 routes the exact freed sets VM operations return
+//                 to the exec/ pool's background lane instead of freeing
+//                 inline (see vm/base.h reclaim_payloads)      (default 0)
 #pragma once
 
 #include <cstdlib>
@@ -64,6 +70,15 @@ inline long env_scale(long base) {
   const double scaled = static_cast<double>(base) * env_double("MVCC_SCALE", 1.0);
   const long v = static_cast<long>(scaled);
   return (base > 0 && v < 1) ? 1 : v;
+}
+
+// Fork-join grain for the bulk tree operations (MVCC_GRAIN): subproblems
+// below this many nodes of work stay sequential, so grain sweeps need no
+// recompile. Non-positive or malformed values fall back to the default —
+// a grain of 0 would fork single-node subproblems and drown in spawn cost.
+inline long env_grain() {
+  const long v = env_long("MVCC_GRAIN", 2048);
+  return v > 0 ? v : 2048;
 }
 
 // Worker-thread count for bulk operations (MVCC_THREADS overrides hardware).

@@ -27,12 +27,12 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
-#include <future>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "mvcc/common/env.h"
+#include "mvcc/exec/pool.h"
 #include "mvcc/obs/obs.h"
 
 namespace mvcc::ftree {
@@ -373,9 +373,14 @@ SplitResult<K, V, A> split(Node<K, V, A>* t, const K& k) {
 }
 
 // Fork-join granularity for the bulk operations: a recursive subproblem
-// below this many nodes of work stays sequential, so the spawn cost is
-// always amortized over thousands of node visits.
-inline constexpr std::uint64_t kBulkGrain = 2048;
+// below this many nodes of work stays sequential, so the fork cost is
+// always amortized over thousands of node visits. Env-tunable (MVCC_GRAIN,
+// default 2048) for grain sweeps; resolved once per process, so set it
+// before the first bulk op.
+inline std::uint64_t bulk_grain() {
+  static const std::uint64_t g = static_cast<std::uint64_t>(env_grain());
+  return g;
+}
 
 namespace detail {
 
@@ -402,20 +407,17 @@ Node<K, V, A>* union_rec(Node<K, V, A>* a, Node<K, V, A>* b, int budget) {
   SplitResult<K, V, A> s = split(a, bk);
   if (budget > 1 &&
       std::min(weight_of(s.left) + weight_of(bl),
-               weight_of(s.right) + weight_of(br)) >= kBulkGrain) {
+               weight_of(s.right) + weight_of(br)) >= bulk_grain()) {
     const int lb = budget / 2;
     const int rb = budget - lb;
-    auto task = [l = s.left, bl, lb] { return union_rec(l, bl, lb); };
-    std::future<Node<K, V, A>*> left;
-    try {
-      left = std::async(std::launch::async, task);
-    } catch (const std::system_error&) {
-      // Spawn failed (thread limits): run this level sequentially —
-      // dropping the task would leak its owned references.
-      return join(task(), bk, bv, union_rec(s.right, br, rb));
-    }
-    Node<K, V, A>* r = union_rec(s.right, br, rb);
-    return join(left.get(), bk, bv, r);
+    // Fork the right subproblem onto the shared pool, recurse left on this
+    // thread; invoke2's joiner helps run queued forks, and a pool with no
+    // spawnable workers degrades to sequential self-execution — no
+    // per-site fallback needed, and no owned reference can be dropped.
+    auto [l, r] = exec::invoke2(
+        [l0 = s.left, bl, lb] { return union_rec(l0, bl, lb); },
+        [r0 = s.right, br, rb] { return union_rec(r0, br, rb); });
+    return join(l, bk, bv, r);
   }
   // Below the grain on one side (or out of budget): recurse in place. The
   // budget is passed through so a lopsided split can still fork deeper
@@ -432,23 +434,17 @@ Node<K, V, A>* build_sorted_rec(std::span<const std::pair<K, V>> entries,
                                 int budget) {
   if (entries.empty()) return nullptr;
   const std::size_t mid = entries.size() / 2;
-  if (budget > 1 && entries.size() >= 2 * kBulkGrain) {
+  if (budget > 1 && entries.size() >= 2 * bulk_grain()) {
     const int lb = budget / 2;
     const int rb = budget - lb;
-    auto task = [e = entries.first(mid), lb] {
-      return build_sorted_rec<K, V, A>(e, lb);
-    };
-    std::future<Node<K, V, A>*> left;
-    try {
-      left = std::async(std::launch::async, task);
-    } catch (const std::system_error&) {
-      return make_node<K, V, A>(
-          entries[mid].first, entries[mid].second, task(),
-          build_sorted_rec<K, V, A>(entries.subspan(mid + 1), rb));
-    }
-    Node<K, V, A>* r = build_sorted_rec<K, V, A>(entries.subspan(mid + 1), rb);
-    return make_node<K, V, A>(entries[mid].first, entries[mid].second,
-                              left.get(), r);
+    auto [l, r] = exec::invoke2(
+        [e = entries.first(mid), lb] {
+          return build_sorted_rec<K, V, A>(e, lb);
+        },
+        [e = entries.subspan(mid + 1), rb] {
+          return build_sorted_rec<K, V, A>(e, rb);
+        });
+    return make_node<K, V, A>(entries[mid].first, entries[mid].second, l, r);
   }
   return make_node<K, V, A>(
       entries[mid].first, entries[mid].second,
@@ -462,13 +458,13 @@ Node<K, V, A>* build_sorted_rec(std::span<const std::pair<K, V>> entries,
 // unioning a delta over a corpus applies the delta). Consumes both.
 // O(m log(n/m + 1)) work for |b| = m <= n = |a| — the join-tree bound.
 // The independent recursive calls are forked across `threads` workers
-// (0 = env_threads()) above the kBulkGrain cutoff; the resulting tree is
+// (0 = env_threads()) above the bulk_grain() cutoff; the resulting tree is
 // bit-identical for every worker count. Inputs too small to ever fork
 // skip the worker-count resolution entirely, so small unions stay free
 // of getenv/sysconf traffic.
 template <class K, class V, class A>
 Node<K, V, A>* union_(Node<K, V, A>* a, Node<K, V, A>* b, int threads = 0) {
-  const int budget = weight_of(a) + weight_of(b) >= 2 * kBulkGrain
+  const int budget = weight_of(a) + weight_of(b) >= 2 * bulk_grain()
                          ? detail::bulk_budget(threads)
                          : 1;
   return detail::union_rec(a, b, budget);
@@ -479,7 +475,7 @@ Node<K, V, A>* union_(Node<K, V, A>* a, Node<K, V, A>* b, int threads = 0) {
 template <class K, class V, class A>
 Node<K, V, A>* build_sorted(std::span<const std::pair<K, V>> entries,
                             int threads = 0) {
-  const int budget = entries.size() >= 2 * kBulkGrain
+  const int budget = entries.size() >= 2 * bulk_grain()
                          ? detail::bulk_budget(threads)
                          : 1;
   return detail::build_sorted_rec<K, V, A>(entries, budget);
@@ -511,7 +507,7 @@ template <class K, class V, class A>
 Node<K, V, A>* multi_insert(Node<K, V, A>* t,
                             std::span<const std::pair<K, V>> batch,
                             int threads = 0) {
-  const int budget = weight_of(t) + batch.size() >= 2 * kBulkGrain
+  const int budget = weight_of(t) + batch.size() >= 2 * bulk_grain()
                          ? detail::bulk_budget(threads)
                          : 1;
   return detail::union_rec(

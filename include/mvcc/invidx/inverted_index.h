@@ -22,9 +22,12 @@
 // snapshot are wait-free against the writer and fully concurrent across
 // distinct slots. A slot p must not be used from two threads at once.
 // Precise GC falls out of the payload ownership: every Map a VM operation
-// proves unreachable is deleted on the spot (its destructor reenters
-// collect for the nested posting lists), so ftree::live_nodes() returns to
-// baseline once the index and its snapshots are gone.
+// proves unreachable goes through vm::reclaim_payloads (deleted on the
+// spot, or freed on the exec/ pool's background lane under
+// MVCC_BG_RECLAIM=1; either way its destructor reenters collect for the
+// nested posting lists), and the destructor quiesces that lane, so
+// ftree::live_nodes() returns to baseline once the index and its
+// snapshots are gone.
 #pragma once
 
 #include <algorithm>
@@ -58,6 +61,7 @@ class InvertedIndex {
   // Quiescent teardown; outstanding Snapshots stay valid (they own their
   // nodes by reference count, independent of the manager).
   ~InvertedIndex() {
+    vm::reclaim_quiesce();
     for (Map* dead : vm_.shutdown_drain()) delete dead;
   }
 
@@ -144,8 +148,8 @@ class InvertedIndex {
     // one parallel bulk multi_insert publishes the whole batch.
     Map next = cur->multi_inserted(
         std::span<const typename Map::Entry>(delta), workers);
-    for (Map* dead : vm_.set(p, new Map(std::move(next)))) delete dead;
-    for (Map* dead : vm_.release(p)) delete dead;
+    vm::reclaim_payloads(vm_.set(p, new Map(std::move(next))));
+    vm::reclaim_payloads(vm_.release(p));
   }
 
   // Snapshot the current version via slot p (O(1): one acquire, one
@@ -153,7 +157,7 @@ class InvertedIndex {
   Snapshot snapshot(int p) {
     Map* cur = vm_.acquire(p);
     Map snap = *cur;
-    for (Map* dead : vm_.release(p)) delete dead;
+    vm::reclaim_payloads(vm_.release(p));
     return Snapshot(std::move(snap));
   }
 
@@ -163,7 +167,7 @@ class InvertedIndex {
   std::vector<DocId> and_query(int p, Term a, Term b, std::size_t limit) {
     Map* cur = vm_.acquire(p);
     std::vector<DocId> out = and_query_in(*cur, a, b, limit);
-    for (Map* dead : vm_.release(p)) delete dead;
+    vm::reclaim_payloads(vm_.release(p));
     return out;
   }
 

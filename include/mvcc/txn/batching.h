@@ -22,9 +22,12 @@
 //   * vm.set is called only by the flattener, satisfying the external
 //     single-writer serialization the VM contract (vm/base.h) requires.
 //   * Version payloads (Map objects) are owned here: every pointer a VM
-//     operation proves unreachable is deleted on the spot, and the
-//     destructor drains the manager, so ftree::live_nodes() returns to its
-//     baseline once the map and its snapshots are gone.
+//     operation proves unreachable goes through vm::reclaim_payloads —
+//     deleted on the spot by default, or published to the exec/ pool's
+//     background lane under MVCC_BG_RECLAIM=1 so a commit never stalls on
+//     the destructor cost of a large retirement. The destructor quiesces
+//     that lane and drains the manager, so ftree::live_nodes() returns to
+//     its baseline once the map and its snapshots are gone, in either mode.
 //
 // The batch bound is the Appendix F knob: `max_batch` caps the ops folded
 // into one published version, trading throughput (bigger batches amortize
@@ -150,10 +153,12 @@ class BatchingMap {
     for (int p = 0; p < producers_; ++p) {
       rings_.push_back(std::make_unique<Ring>(cap));
     }
-    // Register the txn/ metrics up front so a stats-on run exports them
-    // even when an event (a stall, a reject) never fires.
+    // Register the txn/ and reclaim-lane metrics up front so a stats-on
+    // run exports them even when an event (a stall, a reject, a deferred
+    // batch) never fires.
     if (obs::enabled()) {
       (void)BatchingStats::get();
+      (void)vm::ReclaimStats::get();
       register_txn_probes();
     }
     flattener_ = std::thread([this] { flatten_loop(); });
@@ -164,11 +169,14 @@ class BatchingMap {
 
   // Quiescent teardown: callers must have stopped submitting and dropped
   // their ReadTxns' pins on the manager (held snapshots stay valid — they
-  // own their nodes). Commits everything still buffered, then frees every
+  // own their nodes). Commits everything still buffered, drains the
+  // background reclaim lane (deferred frees from those commits — even a
+  // backed-up lane is fully freed before this returns), then frees every
   // version the manager tracks.
   ~BatchingMap() {
     stop_.store(true, std::memory_order_release);
     flattener_.join();
+    vm::reclaim_quiesce();
     for (Map* dead : vm_.shutdown_drain()) delete dead;
   }
 
@@ -216,7 +224,7 @@ class BatchingMap {
     Map* cur = vm_.acquire(p);
     const V* v = cur->find(k);
     std::optional<V> out = v != nullptr ? std::optional<V>(*v) : std::nullopt;
-    for (Map* dead : vm_.release(p)) delete dead;
+    vm::reclaim_payloads(vm_.release(p));
     return out;
   }
 
@@ -225,7 +233,7 @@ class BatchingMap {
   ReadTxn read_txn(int p) {
     Map* cur = vm_.acquire(p);
     Map snap = *cur;
-    for (Map* dead : vm_.release(p)) delete dead;
+    vm::reclaim_payloads(vm_.release(p));
     return ReadTxn(std::move(snap));
   }
 
@@ -395,8 +403,10 @@ class BatchingMap {
 
   // One transaction: dedup the drained ops (stable sort — the last
   // submission per key wins), bulk-apply over the acquired version, publish
-  // through the VM, free what it proved unreachable, then advance the
-  // per-producer committed cursors (which is what releases upsert_sync
+  // through the VM, hand what it proved unreachable to reclaim (inline
+  // delete, or the background lane under MVCC_BG_RECLAIM — the commit then
+  // never stalls on a large retirement's destructor cost), then advance
+  // the per-producer committed cursors (which is what releases upsert_sync
   // waiters and admission control).
   void commit(std::vector<Entry>& batch, const std::vector<std::uint64_t>& from,
               std::size_t raw_ops) {
@@ -404,10 +414,8 @@ class BatchingMap {
     Map* cur = vm_.acquire(writer_pid());
     ftree::prepare_batch(batch);
     Map next = cur->multi_inserted(std::span<const Entry>(batch));
-    for (Map* dead : vm_.set(writer_pid(), new Map(std::move(next)))) {
-      delete dead;
-    }
-    for (Map* dead : vm_.release(writer_pid())) delete dead;
+    vm::reclaim_payloads(vm_.set(writer_pid(), new Map(std::move(next))));
+    vm::reclaim_payloads(vm_.release(writer_pid()));
     ops_committed_.fetch_add(raw_ops, std::memory_order_relaxed);
     batches_committed_.fetch_add(1, std::memory_order_relaxed);
     if (obs::enabled()) {

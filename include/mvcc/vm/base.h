@@ -42,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "mvcc/exec/pool.h"
 #include "mvcc/obs/obs.h"
 
 namespace mvcc::vm {
@@ -70,13 +71,115 @@ inline obs::Counter& vm_versions_retired() {
 // uncollected-version curve over time.
 inline std::atomic<std::int64_t> g_live_versions{0};
 
-// Registers the live-version probe with the obs sampler. Idempotent;
-// called by the bench glue before the sampler starts.
+// Registers the live-version and reclaim-queue probes with the obs
+// sampler. Idempotent; called by the bench glue before the sampler starts.
+inline std::atomic<std::int64_t>& reclaim_queue_depth();
+
 inline void register_vm_probes() {
   obs::Sampler::instance().register_probe("vm/live_versions", [] {
     return g_live_versions.load(std::memory_order_relaxed);
   });
+  obs::Sampler::instance().register_probe("reclaim/queue_depth", [] {
+    return reclaim_queue_depth().load(std::memory_order_relaxed);
+  });
 }
+
+// --- Off-critical-path precise reclamation (MVCC_BG_RECLAIM) -------------
+//
+// The VM algorithms return EXACT freed sets; by default their client
+// (txn/batching.h, invidx/) deletes the payloads inline, right on the path
+// that proved them unreachable — for the flattener that means a commit
+// stalls on the destructor cost of every version it retires. With
+// MVCC_BG_RECLAIM=1, reclaim_payloads() publishes the whole freed set to
+// the exec/ pool's background lane instead and returns immediately; a
+// worker runs the deletes under a `reclaim/batch_free` trace span.
+//
+// Precision is untouched: the freed SET is computed exactly as in the
+// inline mode (the managers' claim protocols still hand each payload back
+// exactly once), only WHERE the destructor runs changes. The counterpart
+// guarantee is reclaim_quiesce(): it blocks until every published batch
+// has been freed, so "ftree::live_nodes() returns to baseline" holds at
+// any quiescent point that drains — the client destructors (BatchingMap,
+// InvertedIndex, the managers themselves) all quiesce, so deferred
+// reclamation can never leak at shutdown.
+
+namespace detail {
+// -1 = uninitialized; the first query resolves the MVCC_BG_RECLAIM env
+// var. set_bg_reclaim() overrides for tests, mirroring obs::set_enabled.
+inline std::atomic<int>& bg_reclaim_flag() {
+  static std::atomic<int> flag{-1};
+  return flag;
+}
+}  // namespace detail
+
+inline bool bg_reclaim_enabled() {
+  int v = detail::bg_reclaim_flag().load(std::memory_order_relaxed);
+  if (v < 0) [[unlikely]] {
+    v = env_long("MVCC_BG_RECLAIM", 0) != 0 ? 1 : 0;
+    detail::bg_reclaim_flag().store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+inline void set_bg_reclaim(bool on) {
+  detail::bg_reclaim_flag().store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+// Payloads published to the background lane and not yet freed — the
+// backlog the sampler plots as reclaim/queue_depth. Maintained
+// unconditionally (two relaxed RMWs per deferred BATCH, off every hot
+// path) so quiesce-style tests can watch it without obs on.
+inline std::atomic<std::int64_t>& reclaim_queue_depth() {
+  static std::atomic<std::int64_t> depth{0};
+  return depth;
+}
+
+// Registry handles for the reclaim lane, touched only under obs::enabled():
+//
+//   reclaim/deferred         payloads routed to the background lane
+//   reclaim/queue_depth_hwm  max payloads simultaneously awaiting a worker
+struct ReclaimStats {
+  obs::Counter& deferred;
+  obs::Gauge& queue_depth_hwm;
+
+  static ReclaimStats& get() {
+    static ReclaimStats s{obs::registry().counter("reclaim/deferred"),
+                          obs::registry().gauge("reclaim/queue_depth_hwm")};
+    return s;
+  }
+};
+
+// Frees a VM operation's returned payload set: inline when deferred
+// reclaim is off (or the set is empty), else as one batch on the exec/
+// pool's background lane. Takes the vector by value so call sites pass the
+// VM return directly: `vm::reclaim_payloads(vm.release(p))`.
+template <class T>
+void reclaim_payloads(std::vector<T*> dead) {
+  if (dead.empty()) return;
+  if (!bg_reclaim_enabled()) {
+    for (T* p : dead) delete p;
+    return;
+  }
+  const auto n = static_cast<std::int64_t>(dead.size());
+  const std::int64_t depth =
+      reclaim_queue_depth().fetch_add(n, std::memory_order_relaxed) + n;
+  if (obs::enabled()) {
+    ReclaimStats::get().deferred.add(static_cast<std::uint64_t>(n));
+    ReclaimStats::get().queue_depth_hwm.update_max(depth);
+  }
+  exec::Pool::instance().defer([batch = std::move(dead)] {
+    obs::TraceSpan span("reclaim/batch_free",
+                        static_cast<std::uint64_t>(batch.size()));
+    for (T* p : batch) delete p;
+    reclaim_queue_depth().fetch_sub(static_cast<std::int64_t>(batch.size()),
+                                    std::memory_order_relaxed);
+  });
+}
+
+// Blocks until every payload ever passed to reclaim_payloads has been
+// freed (helping drain from the calling thread). Trivially quiescent when
+// the pool was never created or deferred reclaim never engaged.
+inline void reclaim_quiesce() { exec::quiesce_deferred(); }
 
 // The compile-time shape of a VM algorithm; benches and the workload
 // harness template over any VM satisfying this.
@@ -142,6 +245,11 @@ class BaseVersionManager : public VmStats {
     assert(nprocs >= 1);
     (void)nprocs;
   }
+
+  // A manager's death is a quiescent point: drain the background reclaim
+  // lane so payloads this manager's clients deferred are freed before the
+  // client finishes tearing down around it.
+  ~BaseVersionManager() { reclaim_quiesce(); }
 
   static constexpr const char* name() { return "Base"; }
 

@@ -58,6 +58,20 @@ TEST(Env, ScaleNoArgReturnsRawMultiplier) {
   unsetenv("MVCC_SCALE");
 }
 
+TEST(Env, GrainDefaultsOverridesAndRejectsNonPositive) {
+  unsetenv("MVCC_GRAIN");
+  EXPECT_EQ(env_grain(), 2048);
+  setenv("MVCC_GRAIN", "64", 1);
+  EXPECT_EQ(env_grain(), 64);
+  setenv("MVCC_GRAIN", "0", 1);
+  EXPECT_EQ(env_grain(), 2048);  // a grain of 0 would fork every node
+  setenv("MVCC_GRAIN", "-5", 1);
+  EXPECT_EQ(env_grain(), 2048);
+  setenv("MVCC_GRAIN", "junk", 1);
+  EXPECT_EQ(env_grain(), 2048);
+  unsetenv("MVCC_GRAIN");
+}
+
 TEST(Env, ThreadsIsPositive) {
   unsetenv("MVCC_THREADS");
   EXPECT_GE(env_threads(), 1);
