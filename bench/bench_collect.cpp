@@ -4,7 +4,9 @@
 // magnitude of S (linear total cost).
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
@@ -95,6 +97,30 @@ void BM_TreeCollectOneVersionOfMany(benchmark::State& state) {
   ftree::collect(base);
 }
 
+// Deterministic precise-GC self-check, printed after the benchmarks for
+// the CI allocator A/B harness: a default (slab) run and an
+// MVCC_ALLOC=malloc run of this binary must report the exact same freed
+// count and final live count — the freed SET is allocator-invariant, only
+// where the storage goes differs.
+void print_selfcheck() {
+  using N = ftree::Node<std::uint64_t, std::uint64_t>;
+  constexpr std::uint64_t kMod = 100003;
+  N* base = nullptr;
+  for (std::uint64_t i = 0; i < 50000; ++i) {
+    base = ftree::insert(
+        base, static_cast<std::uint64_t>((i * 2654435761ull) % kMod), i);
+  }
+  N* derived = ftree::share(base);
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    derived = ftree::insert(
+        derived, static_cast<std::uint64_t>((i * 40503ull) % kMod), i + 1);
+  }
+  std::size_t freed = ftree::collect(derived);
+  freed += ftree::collect(base);
+  std::printf("collect/selfcheck_freed=%zu\n", freed);
+  std::printf("collect/selfcheck_live=%lld\n", ftree::live_nodes());
+}
+
 }  // namespace
 
 BENCHMARK(BM_PlmCollectChain)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
@@ -113,6 +139,7 @@ int main(int argc, char** argv) {
     mvcc::obs::PerfCell perf("");
     benchmark::RunSpecifiedBenchmarks();
   }
+  print_selfcheck();
   if (mvcc::obs::enabled()) {
     std::fputs(mvcc::obs::registry().dump_text("collect/").c_str(), stdout);
   }

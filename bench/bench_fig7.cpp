@@ -48,7 +48,7 @@ using workload::YcsbSpec;
 using workload::YcsbStream;
 using workload::ZipfGenerator;
 
-struct Config {
+struct CellConfig {
   std::uint64_t keys;
   int threads;
   double warmup;
@@ -70,7 +70,7 @@ struct alignas(64) PaddedCount {
 // after the workers join, outside the measured window.
 template <class Adapter>
 CellResult run_cell(Adapter& ad, const YcsbSpec& spec,
-                    const ZipfGenerator& zipf, const Config& cfg,
+                    const ZipfGenerator& zipf, const CellConfig& cfg,
                     const std::string& label) {
   constexpr std::uint64_t kSampleMask = 63;  // every 64th op in the window
   std::atomic<bool> stop{false};
@@ -158,7 +158,7 @@ struct PlainAdapter {
 
 template <typename M>
 CellResult run_plain(M& m, const YcsbSpec& spec, const ZipfGenerator& zipf,
-                     const Config& cfg, const std::string& label) {
+                     const CellConfig& cfg, const std::string& label) {
   const auto dataset = workload::ycsb_dataset(cfg.keys);
   for (const auto& [k, v] : dataset) m.upsert(k, v);
   PlainAdapter<M> ad{m};
@@ -177,7 +177,7 @@ CellResult run_plain(M& m, const YcsbSpec& spec, const ZipfGenerator& zipf,
 // to show the full-system cost the paper's Table 2 measures separately.
 template <template <typename> class VMImpl>
 CellResult run_ours(const YcsbSpec& spec, const ZipfGenerator& zipf,
-                    const Config& cfg, const std::string& label) {
+                    const CellConfig& cfg, const std::string& label) {
   using BMap = txn::BatchingMap<std::uint64_t, std::uint64_t,
                                 ftree::NoAug<std::uint64_t, std::uint64_t>,
                                 VMImpl>;
@@ -203,7 +203,7 @@ CellResult run_ours(const YcsbSpec& spec, const ZipfGenerator& zipf,
 
 int main() {
   bench::ObsSession obs_session;
-  Config cfg;
+  CellConfig cfg;
   cfg.keys = static_cast<std::uint64_t>(200000 * env_scale());
   cfg.threads = static_cast<int>(env_long(
       "MVCC_THREADS",

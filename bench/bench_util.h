@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "mvcc/alloc/pool.h"
 #include "mvcc/common/env.h"
 #include "mvcc/ftree/ops.h"
 #include "mvcc/obs/obs.h"
@@ -107,6 +108,7 @@ class ObsSession {
  public:
   ObsSession() {
     if (!obs::enabled()) return;
+    alloc::register_alloc_probes();
     ftree::register_footprint_probes();
     vm::register_vm_probes();
     txn::register_txn_probes();

@@ -101,7 +101,7 @@ class Pool {
   // (invoke2's caller participates in the fork-join, so total concurrency
   // is workers + 1), floored at 1 so the background lane always has a
   // consumer.
-  static int default_workers() { return std::max(1, env_threads() - 1); }
+  static int default_workers() { return std::max(1, config().threads - 1); }
 
   explicit Pool(int workers) {
     const int n = std::max(1, workers);

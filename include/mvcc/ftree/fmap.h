@@ -61,7 +61,7 @@ class FMap {
 
   // A new version with every entry of `other` applied over this one
   // (other's values win on duplicate keys). O(m log(n/m + 1)) work, forked
-  // across `threads` workers (0 = env_threads(), 1 = sequential); the
+  // across `threads` workers (0 = config().threads, 1 = sequential); the
   // result is identical for every worker count.
   FMap union_with(const FMap& other, int threads = 0) const {
     return FMap(
@@ -70,7 +70,7 @@ class FMap {
 
   // A new version with a prepared (see prepare_batch) batch applied in one
   // bulk join-based operation. O(m log(n/m + 1)) work, forked across
-  // `threads` workers (0 = env_threads()).
+  // `threads` workers (0 = config().threads).
   FMap multi_inserted(std::span<const Entry> batch, int threads = 0) const {
     return FMap(multi_insert(ftree::share(root_), batch, threads));
   }

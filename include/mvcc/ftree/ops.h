@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "mvcc/alloc/pool.h"
 #include "mvcc/common/env.h"
 #include "mvcc/exec/pool.h"
 #include "mvcc/obs/obs.h"
@@ -111,45 +112,84 @@ struct AugSum {
   static T combine(const T& l, const T& m, const T& r) { return l + m + r; }
 };
 
+// Height-packed node layout: height and weight share one 64-bit word
+// (7 bits of height — an AVL tree needs height > 127 only beyond 2^87
+// nodes — under 57 bits of weight), and an empty augmentation occupies no
+// storage via [[no_unique_address]]. A NoAug<u64, u64> node is 48 bytes
+// instead of the naive 64: three nodes per pair of cache lines on the
+// collect/insert hot paths.
 template <class K, class V, class A = NoAug<K, V>>
 struct Node {
+  static constexpr std::uint32_t kHeightBits = 7;
+  static constexpr std::uint64_t kHeightMask = (1u << kHeightBits) - 1;
+
   Node* left;
   Node* right;
   std::atomic<std::uint32_t> refs;
-  std::uint32_t height;
-  std::uint64_t weight;
-  typename A::T aug;
+  [[no_unique_address]] typename A::T aug;
   K key;
   V val;
+  std::uint64_t hw;  // weight << kHeightBits | height
+
+  std::uint32_t height() const {
+    return static_cast<std::uint32_t>(hw & kHeightMask);
+  }
+  std::uint64_t weight() const { return hw >> kHeightBits; }
 
   Node(const K& k, const V& v, Node* l, Node* r)
       : left(l),
         right(r),
         refs(1),
-        height(1 + std::max(l != nullptr ? l->height : 0u,
-                            r != nullptr ? r->height : 0u)),
-        weight(1 + (l != nullptr ? l->weight : 0u) +
-               (r != nullptr ? r->weight : 0u)),
         aug(A::combine(l != nullptr ? l->aug : A::zero(), A::leaf(k, v),
                        r != nullptr ? r->aug : A::zero())),
         key(k),
-        val(v) {}
+        val(v),
+        hw(((1 + (l != nullptr ? l->weight() : 0u) +
+             (r != nullptr ? r->weight() : 0u))
+            << kHeightBits) |
+           (1 + std::max(l != nullptr ? l->height() : 0u,
+                         r != nullptr ? r->height() : 0u))) {}
 };
 
 template <class K, class V, class A>
 inline std::uint32_t height_of(const Node<K, V, A>* t) {
-  return t != nullptr ? t->height : 0;
+  return t != nullptr ? t->height() : 0;
 }
 
 template <class K, class V, class A>
 inline std::uint64_t weight_of(const Node<K, V, A>* t) {
-  return t != nullptr ? t->weight : 0;
+  return t != nullptr ? t->weight() : 0;
 }
 
 template <class K, class V, class A>
 inline typename A::T aug_of(const Node<K, V, A>* t) {
   return t != nullptr ? t->aug : A::zero();
 }
+
+// The allocation policy every node goes through — the explicit seam
+// between the tree algorithms and the alloc/ slab pool. `create`/`destroy`
+// are the unit operations (routing honors MVCC_ALLOC: slab pool by
+// default, plain operator new/delete under "malloc"); `free_batch` hands
+// an exact freed set's raw storage (destructors already run) back to the
+// pool wholesale, which is what makes a precise collect O(freed) in the
+// allocator too, not just in the traversal.
+struct NodeAlloc {
+  template <class N, class... Args>
+  static N* create(Args&&... args) {
+    return alloc::create<N>(std::forward<Args>(args)...);
+  }
+
+  template <class N>
+  static void destroy(N* n) {
+    alloc::destroy(n);
+  }
+
+  template <class N>
+  static void free_batch(std::vector<void*>& mem) {
+    alloc::deallocate_batch(mem.data(), mem.size(), sizeof(N));
+    mem.clear();
+  }
+};
 
 // Allocates a node owning the references `l` and `r` (no count adjustment:
 // ownership transfers in). The returned pointer is one owned reference.
@@ -159,7 +199,7 @@ Node<K, V, A>* make_node(const K& k, const V& v, Node<K, V, A>* l,
   const long long now =
       g_live_nodes.fetch_add(1, std::memory_order_relaxed) + 1;
   if (obs::enabled()) note_nodes_alloc(now, sizeof(Node<K, V, A>));
-  return new Node<K, V, A>(k, v, l, r);
+  return NodeAlloc::create<Node<K, V, A>>(k, v, l, r);
 }
 
 // Takes an additional owned reference to `t` (which may be null).
@@ -192,13 +232,23 @@ std::size_t collect(Node<K, V, A>* t) {
   // stack, leaving the outer iteration's state intact; only the outermost
   // frame — the steady-state path — touches the shared allocation.
   thread_local std::vector<Node<K, V, A>*> shared_stack;
+  thread_local std::vector<void*> shared_freed_mem;
   thread_local bool shared_stack_in_use = false;
   std::vector<Node<K, V, A>*> local_stack;
+  std::vector<void*> local_freed_mem;
   const bool outermost = !shared_stack_in_use;
   std::vector<Node<K, V, A>*>& stack = outermost ? shared_stack : local_stack;
+  // Destructors run inline (a payload's ~V may legitimately reenter
+  // collect), but the freed RAW STORAGE is batched and returned to the
+  // allocator in one deallocate_batch at the end — the whole freed set
+  // flows back to the thread cache / depot wholesale instead of one
+  // heap free at a time.
+  std::vector<void*>& freed_mem =
+      outermost ? shared_freed_mem : local_freed_mem;
   if (outermost) {
     shared_stack_in_use = true;
     stack.clear();
+    freed_mem.clear();
   }
   stack.push_back(t);
   while (!stack.empty()) {
@@ -210,9 +260,11 @@ std::size_t collect(Node<K, V, A>* t) {
         stack.push_back(child);
       }
     }
-    delete dead;  // may reenter collect through ~V; see guard above
+    dead->~Node();  // may reenter collect through ~V; see guard above
+    freed_mem.push_back(dead);
     ++freed;
   }
+  NodeAlloc::free_batch<Node<K, V, A>>(freed_mem);
   if (outermost) shared_stack_in_use = false;
   g_live_nodes.fetch_sub(static_cast<long long>(freed),
                          std::memory_order_relaxed);
@@ -236,7 +288,7 @@ inline void expose(Node<K, V, A>* t, Node<K, V, A>** l, Node<K, V, A>** r,
   if (t->refs.load(std::memory_order_acquire) == 1) {
     *l = t->left;
     *r = t->right;
-    delete t;
+    NodeAlloc::destroy(t);
     g_live_nodes.fetch_sub(1, std::memory_order_relaxed);
     if (obs::enabled()) note_nodes_freed(sizeof(Node<K, V, A>));
   } else {
@@ -258,7 +310,7 @@ inline void expose(Node<K, V, A>* t, Node<K, V, A>** l, Node<K, V, A>** r,
       if (t->right != nullptr) {
         t->right->refs.fetch_sub(1, std::memory_order_acq_rel);
       }
-      delete t;
+      NodeAlloc::destroy(t);
       g_live_nodes.fetch_sub(1, std::memory_order_relaxed);
       if (obs::enabled()) note_nodes_freed(sizeof(Node<K, V, A>));
     }
@@ -374,20 +426,20 @@ SplitResult<K, V, A> split(Node<K, V, A>* t, const K& k) {
 
 // Fork-join granularity for the bulk operations: a recursive subproblem
 // below this many nodes of work stays sequential, so the fork cost is
-// always amortized over thousands of node visits. Env-tunable (MVCC_GRAIN,
-// default 2048) for grain sweeps; resolved once per process, so set it
-// before the first bulk op.
+// always amortized over thousands of node visits. Tunable (MVCC_GRAIN via
+// config().grain, default 2048, floored at kGrainFloor) for grain sweeps;
+// resolved once per process, so set it before the first bulk op.
 inline std::uint64_t bulk_grain() {
-  static const std::uint64_t g = static_cast<std::uint64_t>(env_grain());
+  static const std::uint64_t g = static_cast<std::uint64_t>(config().grain);
   return g;
 }
 
 namespace detail {
 
 // Resolves a caller-supplied worker budget: positive means exactly that
-// many workers, zero (the default) means env_threads() (MVCC_THREADS).
+// many workers, zero (the default) means config().threads (MVCC_THREADS).
 inline int bulk_budget(int threads) {
-  return threads > 0 ? threads : env_threads();
+  return threads > 0 ? threads : config().threads;
 }
 
 // Recursive core of union_ with a fork-join worker budget. The two
@@ -458,7 +510,7 @@ Node<K, V, A>* build_sorted_rec(std::span<const std::pair<K, V>> entries,
 // unioning a delta over a corpus applies the delta). Consumes both.
 // O(m log(n/m + 1)) work for |b| = m <= n = |a| — the join-tree bound.
 // The independent recursive calls are forked across `threads` workers
-// (0 = env_threads()) above the bulk_grain() cutoff; the resulting tree is
+// (0 = config().threads) above the bulk_grain() cutoff; the resulting tree is
 // bit-identical for every worker count. Inputs too small to ever fork
 // skip the worker-count resolution entirely, so small unions stay free
 // of getenv/sysconf traffic.
@@ -471,7 +523,7 @@ Node<K, V, A>* union_(Node<K, V, A>* a, Node<K, V, A>* b, int threads = 0) {
 }
 
 // Builds a perfectly balanced tree over strictly increasing entries. O(n)
-// work, forked across `threads` workers (0 = env_threads()).
+// work, forked across `threads` workers (0 = config().threads).
 template <class K, class V, class A>
 Node<K, V, A>* build_sorted(std::span<const std::pair<K, V>> entries,
                             int threads = 0) {
@@ -502,7 +554,7 @@ void prepare_batch(std::vector<std::pair<K, V>>& batch) {
 
 // Applies a prepared (sorted, deduplicated) batch in one bulk operation:
 // build a tree over the batch, then union it over `t`. Consumes `t`. Both
-// phases fork across `threads` workers (0 = env_threads()).
+// phases fork across `threads` workers (0 = config().threads).
 template <class K, class V, class A>
 Node<K, V, A>* multi_insert(Node<K, V, A>* t,
                             std::span<const std::pair<K, V>> batch,

@@ -22,8 +22,9 @@
 // snapshot are wait-free against the writer and fully concurrent across
 // distinct slots. A slot p must not be used from two threads at once.
 // Precise GC falls out of the payload ownership: every Map a VM operation
-// proves unreachable goes through vm::reclaim_payloads (deleted on the
-// spot, or freed on the exec/ pool's background lane under
+// proves unreachable goes through vm::reclaim_payloads with
+// alloc::PoolDispose (returned to the slab pool on the spot, or on the
+// exec/ pool's background lane under
 // MVCC_BG_RECLAIM=1; either way its destructor reenters collect for the
 // nested posting lists), and the destructor quiesces that lane, so
 // ftree::live_nodes() returns to baseline once the index and its
@@ -37,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "mvcc/alloc/pool.h"
 #include "mvcc/ftree/fmap.h"
 #include "mvcc/invidx/corpus.h"
 #include "mvcc/vm/base.h"
@@ -53,7 +55,7 @@ class InvertedIndex {
 
   // `nprocs` slots: by convention benches use 0..nprocs-2 for query
   // threads and nprocs-1 for the writer, but any disjoint assignment works.
-  explicit InvertedIndex(int nprocs) : vm_(nprocs, new Map()) {}
+  explicit InvertedIndex(int nprocs) : vm_(nprocs, alloc::create<Map>()) {}
 
   InvertedIndex(const InvertedIndex&) = delete;
   InvertedIndex& operator=(const InvertedIndex&) = delete;
@@ -62,7 +64,7 @@ class InvertedIndex {
   // nodes by reference count, independent of the manager).
   ~InvertedIndex() {
     vm::reclaim_quiesce();
-    for (Map* dead : vm_.shutdown_drain()) delete dead;
+    for (Map* dead : vm_.shutdown_drain()) alloc::destroy(dead);
   }
 
   // Documents containing both `a` and `b` in `index`, ascending ids, at
@@ -127,7 +129,7 @@ class InvertedIndex {
     // Resolve the worker budget once per batch: the per-term unions below
     // would otherwise re-read MVCC_THREADS for every touched term, right
     // on the timed writer hot path.
-    const int workers = env_threads();
+    const int workers = config().threads;
     Map* cur = vm_.acquire(p);
     // Per touched term: build the posting delta, union it over the term's
     // current posting list (delta entries replace — last write wins).
@@ -148,8 +150,9 @@ class InvertedIndex {
     // one parallel bulk multi_insert publishes the whole batch.
     Map next = cur->multi_inserted(
         std::span<const typename Map::Entry>(delta), workers);
-    vm::reclaim_payloads(vm_.set(p, new Map(std::move(next))));
-    vm::reclaim_payloads(vm_.release(p));
+    vm::reclaim_payloads(vm_.set(p, alloc::create<Map>(std::move(next))),
+                         alloc::PoolDispose{});
+    vm::reclaim_payloads(vm_.release(p), alloc::PoolDispose{});
   }
 
   // Snapshot the current version via slot p (O(1): one acquire, one
@@ -157,7 +160,7 @@ class InvertedIndex {
   Snapshot snapshot(int p) {
     Map* cur = vm_.acquire(p);
     Map snap = *cur;
-    vm::reclaim_payloads(vm_.release(p));
+    vm::reclaim_payloads(vm_.release(p), alloc::PoolDispose{});
     return Snapshot(std::move(snap));
   }
 
@@ -167,7 +170,7 @@ class InvertedIndex {
   std::vector<DocId> and_query(int p, Term a, Term b, std::size_t limit) {
     Map* cur = vm_.acquire(p);
     std::vector<DocId> out = and_query_in(*cur, a, b, limit);
-    vm::reclaim_payloads(vm_.release(p));
+    vm::reclaim_payloads(vm_.release(p), alloc::PoolDispose{});
     return out;
   }
 

@@ -25,8 +25,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
+#include <new>
 #include <utility>
 #include <vector>
+
+#include "mvcc/alloc/pool.h"
 
 namespace mvcc::plm {
 
@@ -102,7 +105,7 @@ class Machine {
     Tuple* t = all_head_;
     while (t != nullptr) {
       Tuple* next = t->all_next_;
-      delete t;
+      alloc::destroy(t);
       t = next;
     }
   }
@@ -114,7 +117,10 @@ class Machine {
     for (const Value& v : slots) {
       if (v.is_tuple()) ++v.as_tuple()->refs_;
     }
-    Tuple* t = new Tuple(std::move(slots));
+    // Placement-construct rather than alloc::create: the Tuple constructor
+    // is private to this friend, and the storage comes from the pool.
+    Tuple* t = ::new (alloc::allocate(sizeof(Tuple)))
+        Tuple(std::move(slots));
     t->all_next_ = all_head_;
     if (all_head_ != nullptr) all_head_->all_prev_ = t;
     all_head_ = t;
@@ -143,6 +149,7 @@ class Machine {
     if (--t->refs_ != 0) return 0;
     std::size_t freed = 0;
     worklist_.clear();
+    freed_mem_.clear();
     worklist_.push_back(t);
     while (!worklist_.empty()) {
       Tuple* dead = worklist_.back();
@@ -154,9 +161,14 @@ class Machine {
         if (--child->refs_ == 0) worklist_.push_back(child);
       }
       unlink(dead);
-      delete dead;
+      dead->~Tuple();
+      freed_mem_.push_back(dead);
       ++freed;
     }
+    // The whole exact freed set returns to the allocator in one batch —
+    // collect is O(freed) in the allocator too, not just the traversal.
+    alloc::deallocate_batch(freed_mem_.data(), freed_mem_.size(),
+                            sizeof(Tuple));
     live_ -= freed;
     return freed;
   }
@@ -178,8 +190,9 @@ class Machine {
   std::size_t live_ = 0;
   std::size_t allocated_ = 0;
   // Reused across collect calls so steady-state collection does not
-  // reallocate; grows to the largest freed set seen.
+  // reallocate; both grow to the largest freed set seen.
   std::vector<Tuple*> worklist_;
+  std::vector<void*> freed_mem_;
 };
 
 }  // namespace mvcc::plm

@@ -21,9 +21,10 @@
 //     submits and reads on its own index.
 //   * vm.set is called only by the flattener, satisfying the external
 //     single-writer serialization the VM contract (vm/base.h) requires.
-//   * Version payloads (Map objects) are owned here: every pointer a VM
-//     operation proves unreachable goes through vm::reclaim_payloads —
-//     deleted on the spot by default, or published to the exec/ pool's
+//   * Version payloads (Map objects) are owned here and created through
+//     the alloc/ pool: every pointer a VM operation proves unreachable
+//     goes through vm::reclaim_payloads with alloc::PoolDispose —
+//     returned to the pool on the spot by default, or on the exec/ pool's
 //     background lane under MVCC_BG_RECLAIM=1 so a commit never stalls on
 //     the destructor cost of a large retirement. The destructor quiesces
 //     that lane and drains the manager, so ftree::live_nodes() returns to
@@ -52,6 +53,7 @@
 #include <utility>
 #include <vector>
 
+#include "mvcc/alloc/pool.h"
 #include "mvcc/common/timing.h"
 #include "mvcc/ftree/fmap.h"
 #include "mvcc/ftree/ops.h"
@@ -135,7 +137,7 @@ class BatchingMap {
               std::size_t max_batch = std::size_t{1} << 16)
       : producers_(producers),
         max_batch_(max_batch > 0 ? max_batch : 1),
-        vm_(producers + 1, new Map(std::move(initial))) {
+        vm_(producers + 1, alloc::create<Map>(std::move(initial))) {
     assert(producers >= 1);
     const std::size_t cap =
         std::bit_ceil(buffer_capacity > 0 ? buffer_capacity : 1);
@@ -153,12 +155,13 @@ class BatchingMap {
     for (int p = 0; p < producers_; ++p) {
       rings_.push_back(std::make_unique<Ring>(cap));
     }
-    // Register the txn/ and reclaim-lane metrics up front so a stats-on
-    // run exports them even when an event (a stall, a reject, a deferred
-    // batch) never fires.
+    // Register the txn/, reclaim-lane, and allocator metrics up front so a
+    // stats-on run exports them even when an event (a stall, a reject, a
+    // deferred batch, a depot transfer) never fires.
     if (obs::enabled()) {
       (void)BatchingStats::get();
       (void)vm::ReclaimStats::get();
+      (void)alloc::AllocStats::get();
       register_txn_probes();
     }
     flattener_ = std::thread([this] { flatten_loop(); });
@@ -177,7 +180,7 @@ class BatchingMap {
     stop_.store(true, std::memory_order_release);
     flattener_.join();
     vm::reclaim_quiesce();
-    for (Map* dead : vm_.shutdown_drain()) delete dead;
+    for (Map* dead : vm_.shutdown_drain()) alloc::destroy(dead);
   }
 
   // Asynchronous update: enqueues and returns. Blocks only for admission
@@ -224,7 +227,7 @@ class BatchingMap {
     Map* cur = vm_.acquire(p);
     const V* v = cur->find(k);
     std::optional<V> out = v != nullptr ? std::optional<V>(*v) : std::nullopt;
-    vm::reclaim_payloads(vm_.release(p));
+    vm::reclaim_payloads(vm_.release(p), alloc::PoolDispose{});
     return out;
   }
 
@@ -233,7 +236,7 @@ class BatchingMap {
   ReadTxn read_txn(int p) {
     Map* cur = vm_.acquire(p);
     Map snap = *cur;
-    vm::reclaim_payloads(vm_.release(p));
+    vm::reclaim_payloads(vm_.release(p), alloc::PoolDispose{});
     return ReadTxn(std::move(snap));
   }
 
@@ -414,8 +417,10 @@ class BatchingMap {
     Map* cur = vm_.acquire(writer_pid());
     ftree::prepare_batch(batch);
     Map next = cur->multi_inserted(std::span<const Entry>(batch));
-    vm::reclaim_payloads(vm_.set(writer_pid(), new Map(std::move(next))));
-    vm::reclaim_payloads(vm_.release(writer_pid()));
+    vm::reclaim_payloads(
+        vm_.set(writer_pid(), alloc::create<Map>(std::move(next))),
+        alloc::PoolDispose{});
+    vm::reclaim_payloads(vm_.release(writer_pid()), alloc::PoolDispose{});
     ops_committed_.fetch_add(raw_ops, std::memory_order_relaxed);
     batches_committed_.fetch_add(1, std::memory_order_relaxed);
     if (obs::enabled()) {

@@ -42,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "mvcc/alloc/reclaim.h"
 #include "mvcc/exec/pool.h"
 #include "mvcc/obs/obs.h"
 
@@ -73,14 +74,12 @@ inline std::atomic<std::int64_t> g_live_versions{0};
 
 // Registers the live-version and reclaim-queue probes with the obs
 // sampler. Idempotent; called by the bench glue before the sampler starts.
-inline std::atomic<std::int64_t>& reclaim_queue_depth();
-
 inline void register_vm_probes() {
   obs::Sampler::instance().register_probe("vm/live_versions", [] {
     return g_live_versions.load(std::memory_order_relaxed);
   });
   obs::Sampler::instance().register_probe("reclaim/queue_depth", [] {
-    return reclaim_queue_depth().load(std::memory_order_relaxed);
+    return alloc::reclaim_queue_depth().load(std::memory_order_relaxed);
   });
 }
 
@@ -125,61 +124,32 @@ inline void set_bg_reclaim(bool on) {
   detail::bg_reclaim_flag().store(on ? 1 : 0, std::memory_order_relaxed);
 }
 
-// Payloads published to the background lane and not yet freed — the
-// backlog the sampler plots as reclaim/queue_depth. Maintained
-// unconditionally (two relaxed RMWs per deferred BATCH, off every hot
-// path) so quiesce-style tests can watch it without obs on.
-inline std::atomic<std::int64_t>& reclaim_queue_depth() {
-  static std::atomic<std::int64_t> depth{0};
-  return depth;
-}
+// The queue-depth gauge and registry handles now live on the unified
+// alloc/ reclamation seam (alloc/reclaim.h); these names are kept so vm/
+// clients and tests read them where the lane was introduced.
+using alloc::ReclaimStats;
+using alloc::reclaim_queue_depth;
 
-// Registry handles for the reclaim lane, touched only under obs::enabled():
-//
-//   reclaim/deferred         payloads routed to the background lane
-//   reclaim/queue_depth_hwm  max payloads simultaneously awaiting a worker
-struct ReclaimStats {
-  obs::Counter& deferred;
-  obs::Gauge& queue_depth_hwm;
-
-  static ReclaimStats& get() {
-    static ReclaimStats s{obs::registry().counter("reclaim/deferred"),
-                          obs::registry().gauge("reclaim/queue_depth_hwm")};
-    return s;
-  }
-};
-
-// Frees a VM operation's returned payload set: inline when deferred
-// reclaim is off (or the set is empty), else as one batch on the exec/
-// pool's background lane. Takes the vector by value so call sites pass the
-// VM return directly: `vm::reclaim_payloads(vm.release(p))`.
-template <class T>
-void reclaim_payloads(std::vector<T*> dead) {
-  if (dead.empty()) return;
-  if (!bg_reclaim_enabled()) {
-    for (T* p : dead) delete p;
-    return;
-  }
-  const auto n = static_cast<std::int64_t>(dead.size());
-  const std::int64_t depth =
-      reclaim_queue_depth().fetch_add(n, std::memory_order_relaxed) + n;
-  if (obs::enabled()) {
-    ReclaimStats::get().deferred.add(static_cast<std::uint64_t>(n));
-    ReclaimStats::get().queue_depth_hwm.update_max(depth);
-  }
-  exec::Pool::instance().defer([batch = std::move(dead)] {
-    obs::TraceSpan span("reclaim/batch_free",
-                        static_cast<std::uint64_t>(batch.size()));
-    for (T* p : batch) delete p;
-    reclaim_queue_depth().fetch_sub(static_cast<std::int64_t>(batch.size()),
-                                    std::memory_order_relaxed);
-  });
+// Frees a VM operation's returned payload set through the unified
+// alloc::reclaim_batch seam: inline when deferred reclaim is off (or the
+// set is empty), else as one batch on the exec/ pool's background lane.
+// Takes the vector by value so call sites pass the VM return directly:
+// `vm::reclaim_payloads(vm.release(p))`. The dispose policy says how each
+// payload dies — operator delete by default (client-owned payloads the VM
+// contract promises never to touch), alloc::PoolDispose for payloads the
+// client created through the slab pool.
+template <class T, class Dispose = alloc::DeleteDispose>
+void reclaim_payloads(std::vector<T*> dead, Dispose dispose = {}) {
+  alloc::reclaim_batch(std::move(dead),
+                       bg_reclaim_enabled() ? alloc::ReclaimLane::kBackground
+                                            : alloc::ReclaimLane::kInline,
+                       dispose);
 }
 
 // Blocks until every payload ever passed to reclaim_payloads has been
 // freed (helping drain from the calling thread). Trivially quiescent when
 // the pool was never created or deferred reclaim never engaged.
-inline void reclaim_quiesce() { exec::quiesce_deferred(); }
+inline void reclaim_quiesce() { alloc::reclaim_quiesce(); }
 
 // The compile-time shape of a VM algorithm; benches and the workload
 // harness template over any VM satisfying this.

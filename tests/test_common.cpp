@@ -82,6 +82,45 @@ TEST(Env, ThreadsIsPositive) {
   unsetenv("MVCC_THREADS");
 }
 
+TEST(Env, GrainClampsTinyValuesToFloor) {
+  // Grains below kGrainFloor make bulk ops fork per handful of nodes; the
+  // parser clamps them up rather than letting a typo'd knob fall off a
+  // scheduling cliff. Non-positive values still mean "use the default".
+  setenv("MVCC_GRAIN", "1", 1);
+  EXPECT_EQ(env_grain(), kGrainFloor);
+  setenv("MVCC_GRAIN", "63", 1);
+  EXPECT_EQ(env_grain(), kGrainFloor);
+  setenv("MVCC_GRAIN", "64", 1);
+  EXPECT_EQ(env_grain(), 64);  // the floor itself passes through
+  unsetenv("MVCC_GRAIN");
+}
+
+TEST(Env, ConfigFromEnvSeedsEveryKnob) {
+  setenv("MVCC_SCALE", "2.0", 1);
+  setenv("MVCC_THREADS", "3", 1);
+  setenv("MVCC_GRAIN", "512", 1);
+  Config c = Config::from_env();
+  EXPECT_DOUBLE_EQ(c.scale, 2.0);
+  EXPECT_EQ(c.threads, 3);
+  EXPECT_EQ(c.grain, 512);
+  EXPECT_TRUE(c.alloc_pooled);  // MVCC_ALLOC unset -> slab route
+  EXPECT_EQ(c.scaled(1000), 2000);
+  EXPECT_EQ(c.scaled(0), 0);  // zero base is exempt from the >=1 clamp
+  unsetenv("MVCC_SCALE");
+  unsetenv("MVCC_THREADS");
+  unsetenv("MVCC_GRAIN");
+}
+
+TEST(Env, ReloadConfigReseedsTheProcessSingleton) {
+  const Config saved = config();
+  setenv("MVCC_GRAIN", "4096", 1);
+  reload_config();
+  EXPECT_EQ(config().grain, 4096);
+  unsetenv("MVCC_GRAIN");
+  reload_config();
+  EXPECT_EQ(config().grain, saved.grain);
+}
+
 TEST(Rng, DeterministicPerSeed) {
   Xoshiro256 a(123), b(123), c(124);
   bool diverged = false;

@@ -36,8 +36,8 @@ int check_invariants(const N* t, const std::uint64_t* lo,
   const int hl = check_invariants(t->left, lo, &t->key);
   const int hr = check_invariants(t->right, &t->key, hi);
   EXPECT_LE(std::abs(hl - hr), 1) << "AVL violation at key " << t->key;
-  EXPECT_EQ(t->height, static_cast<std::uint32_t>(1 + std::max(hl, hr)));
-  EXPECT_EQ(t->weight,
+  EXPECT_EQ(t->height(), static_cast<std::uint32_t>(1 + std::max(hl, hr)));
+  EXPECT_EQ(t->weight(),
             1 + ftree::weight_of(t->left) + ftree::weight_of(t->right));
   return 1 + std::max(hl, hr);
 }
@@ -151,7 +151,7 @@ TEST(Ftree, CollectDerivedVersionPreservesSurvivor) {
     N* derived = ftree::insert(ftree::share(base), rng.next_below(10000), rng());
     // The derived version's private footprint is one search path.
     const long long private_nodes = ftree::live_nodes() - live_before;
-    EXPECT_LE(private_nodes, static_cast<long long>(base->height) + 2);
+    EXPECT_LE(private_nodes, static_cast<long long>(base->height()) + 2);
     const std::size_t freed = ftree::collect(derived);
     EXPECT_EQ(static_cast<long long>(freed), private_nodes);
     EXPECT_EQ(ftree::live_nodes(), live_before);
@@ -257,8 +257,8 @@ void expect_identical(const N* x, const N* y) {
   if (x == nullptr) return;
   EXPECT_EQ(x->key, y->key);
   EXPECT_EQ(x->val, y->val);
-  EXPECT_EQ(x->height, y->height);
-  EXPECT_EQ(x->weight, y->weight);
+  EXPECT_EQ(x->height(), y->height());
+  EXPECT_EQ(x->weight(), y->weight());
   expect_identical(x->left, y->left);
   expect_identical(x->right, y->right);
 }
