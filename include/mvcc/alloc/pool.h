@@ -363,9 +363,13 @@ class Pool {
 
   detail::ThreadCache& local_cache() {
     // One-entry lookaside: almost every call in a process uses instance().
+    // The owner check guards against a dead pool's address being reused by
+    // a new Pool (sequential stack-allocated pools in tests): ~Pool nulls
+    // each cache's owner, and the cache object itself is owned by the
+    // thread's list, so it stays dereferenceable until thread exit.
     thread_local Pool* last_pool = nullptr;
     thread_local detail::ThreadCache* last_cache = nullptr;
-    if (last_pool == this) return *last_cache;
+    if (last_pool == this && last_cache->owner == this) return *last_cache;
     detail::ThreadCacheList& list = detail::tl_caches();
     detail::ThreadCache* c = list.head;
     while (c != nullptr && c->owner != this) c = c->next;

@@ -104,15 +104,19 @@ class Sampler {
   }
 
   // Joins the thread (if any) and takes the final sample, so the last row
-  // reflects the state at stop time. Idempotent.
+  // reflects the state at stop time. Idempotent, and safe for concurrent
+  // callers: the thread handle is swapped out under mu_, so exactly one
+  // caller joins; the others skip straight to the final sample.
   void stop() {
+    std::thread t;
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (!running_) return;
       stop_requested_ = true;
+      t = std::move(thread_);
     }
     cv_.notify_all();
-    if (thread_.joinable()) thread_.join();
+    if (t.joinable()) t.join();
     std::lock_guard<std::mutex> lock(mu_);
     sample_locked();
     running_ = false;

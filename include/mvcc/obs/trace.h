@@ -106,7 +106,6 @@ class Tracer {
     return t;
   }
 
-  Tracer() = default;
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
@@ -185,6 +184,11 @@ class Tracer {
   }
 
  private:
+  // Singleton-only: local_ring()'s thread_local cache is one pointer per
+  // thread, so a second Tracer instance would emit into (or dangle off)
+  // whichever instance registered this thread's ring first.
+  Tracer() = default;
+
   struct Ring {
     explicit Ring(std::uint32_t id) : events(new Event[kRingCap]), tid(id) {}
     std::unique_ptr<Event[]> events;

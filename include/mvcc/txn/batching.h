@@ -202,8 +202,12 @@ class BatchingMap {
     s.key = k;
     s.val = v;
     s.op = op;
-    r.pushed.store(t + 1, std::memory_order_release);
+    // Depth up BEFORE the publish: the slot is invisible until the release
+    // store, so the gauge over-counts by at most one in-flight op instead of
+    // going transiently negative when the flattener drains and decrements
+    // between the publish and a late increment.
     if (obs::enabled()) g_queue_depth.fetch_add(1, std::memory_order_relaxed);
+    r.pushed.store(t + 1, std::memory_order_release);
   }
 
   // Synchronous update: stamps a ticket at submission and waits until the

@@ -95,6 +95,26 @@ TEST(Alloc, ReusedBlockNeverAliasesLiveBlock) {
   }
 }
 
+TEST(Alloc, PoolAddressReuseDoesNotResurrectDeadThreadCache) {
+  // Regression: local_cache()'s thread-local lookaside keys on the Pool
+  // address. Destroying a pool and constructing another at the SAME address
+  // (placement new makes the reuse deterministic; sequential stack pools hit
+  // it by accident) must not hand back the dead pool's ThreadCache, whose
+  // magazines point into the deleted chunk table and freed slabs.
+  alignas(alloc::Pool) unsigned char storage[sizeof(alloc::Pool)];
+  auto* first = ::new (static_cast<void*>(storage)) alloc::Pool(1 << 12);
+  void* a = first->allocate(48);  // seeds this thread's lookaside
+  ASSERT_NE(a, nullptr);
+  first->deallocate(a, 48);
+  first->~Pool();
+  auto* second = ::new (static_cast<void*>(storage)) alloc::Pool(1 << 12);
+  void* b = second->allocate(48);  // must re-register, not reuse the stale cache
+  ASSERT_NE(b, nullptr);
+  std::memset(b, 0x7e, 48);  // ASan faults here if the block came off a dead slab
+  second->deallocate(b, 48);
+  second->~Pool();
+}
+
 TEST(Alloc, CrossThreadFree) {
   alloc::Pool pool(1 << 12);
   constexpr int kBlocks = 1000;
