@@ -36,6 +36,7 @@
 #include "mvcc/common/timing.h"
 #include "mvcc/obs/obs.h"
 #include "mvcc/txn/batching.h"
+#include "mvcc/txn/sharded.h"
 #include "mvcc/vm/base.h"
 #include "mvcc/vm/pswf.h"
 #include "mvcc/workload/ycsb.h"
@@ -199,6 +200,93 @@ CellResult run_ours(const YcsbSpec& spec, const ZipfGenerator& zipf,
   return run_cell(ad, spec, zipf, cfg, label);
 }
 
+// --- Sharded multi-writer scale-out (ROADMAP's "millions of users" lever)
+//
+// YCSB A over txn::ShardedMap at increasing shard counts, driven by the
+// ScaleStore-style PARTITIONED driver: each producer runs a pre-generated
+// op stream over its own contiguous key partition (Zipfian within the
+// partition, zero generation cost in the loop), updates are async submits,
+// and every 8192nd op takes a cross-shard snapshot and reads through it,
+// exercising the version-vector validate-retry path under load. The
+// update column is COMMITTED ops (the flattener ceiling sharding lifts),
+// not submits; expected shape on a multi-core host is upd_mops rising
+// monotonically with the shard count.
+struct ShardedCell {
+  double mops = 0;      // total issued ops (reads + update submits)
+  double upd_mops = 0;  // committed updates across shards
+  std::uint64_t snapshots = 0;
+  std::uint64_t snap_retries = 0;
+};
+
+ShardedCell run_sharded(int nshards, const CellConfig& cfg) {
+  using SMap =
+      txn::ShardedMap<std::uint64_t, std::uint64_t,
+                      ftree::NoAug<std::uint64_t, std::uint64_t>,
+                      vm::PswfVersionManager>;
+  constexpr std::uint64_t kSnapshotMask = 8191;  // every 8192nd op
+  workload::PartitionedYcsb part(workload::kYcsbA, cfg.keys, cfg.threads);
+  std::vector<std::vector<YcsbOp>> streams;
+  streams.reserve(static_cast<std::size_t>(cfg.threads));
+  for (int t = 0; t < cfg.threads; ++t) {
+    streams.push_back(part.stream(t, std::size_t{1} << 15));
+  }
+  obs::PerfCell perf("sharded/s" + std::to_string(nshards));
+  SMap map(cfg.threads, workload::ycsb_dataset(cfg.keys), nshards);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> sink{0};
+  std::vector<PaddedCount> counts(static_cast<std::size_t>(cfg.threads));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < cfg.threads; ++t) {
+    threads.emplace_back([&, t] {
+      const auto& stream = streams[static_cast<std::size_t>(t)];
+      std::uint64_t local = 0;
+      std::uint64_t ops = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const YcsbOp& op = stream[ops % stream.size()];
+        if ((ops & kSnapshotMask) == kSnapshotMask) {
+          auto snap = map.snapshot(t);
+          const std::uint64_t* v = snap.find(op.key);
+          local += v != nullptr ? *v : 0;
+        } else if (op.type == YcsbOp::kRead) {
+          auto v = map.get(t, op.key);
+          local += v.has_value() ? *v : 0;
+        } else {
+          map.submit(t, txn::BatchOp::kUpsert, op.key, ops);
+        }
+        ++ops;
+        counts[static_cast<std::size_t>(t)].v.store(
+            ops, std::memory_order_relaxed);
+      }
+      sink.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+
+  auto total = [&] {
+    std::uint64_t s = 0;
+    for (const auto& c : counts) s += c.v.load(std::memory_order_relaxed);
+    return s;
+  };
+  std::this_thread::sleep_for(std::chrono::duration<double>(cfg.warmup));
+  obs::Delta issued(total);
+  obs::Delta committed([&map] { return map.ops_committed(); });
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::duration<double>(cfg.seconds));
+  const std::uint64_t ops = issued.delta();
+  const std::uint64_t upd = committed.delta();
+  const double secs = timer.seconds();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  map.flush_all();
+
+  ShardedCell r;
+  r.mops = static_cast<double>(ops) / secs / 1e6;
+  r.upd_mops = static_cast<double>(upd) / secs / 1e6;
+  r.snapshots = map.snapshots_taken();
+  r.snap_retries = map.snapshot_retries();
+  return r;
+}
+
 }  // namespace
 
 int main() {
@@ -280,6 +368,37 @@ int main() {
     }
   }
   lat.print();
+
+  // Sharded scale-out: MVCC_SHARDS pins a single count (CI runs one
+  // process per count for crash isolation); unset sweeps 1/2/4 so one run
+  // prints the whole scaling table.
+  std::vector<int> shard_counts;
+  const long forced_shards = env_long("MVCC_SHARDS", 0);
+  if (forced_shards > 0) {
+    shard_counts.push_back(static_cast<int>(forced_shards));
+  } else {
+    shard_counts = {1, 2, 4};
+  }
+  bench::print_header(
+      "Sharded YCSB A scale-out (partitioned driver, update = committed)");
+  std::printf("(keys=%llu producers=%d warmup=%.2fs measure=%.2fs per row; "
+              "snapshot every 8192nd op)\n",
+              static_cast<unsigned long long>(cfg.keys), cfg.threads,
+              cfg.warmup, cfg.seconds);
+  bench::Table sharded_table(
+      {"shards", "mops", "upd_mops", "snapshots", "snap_retries"});
+  for (int n : shard_counts) {
+    std::fprintf(stderr, "fig7: sharded shards=%d...\n", n);
+    const ShardedCell r = run_sharded(n, cfg);
+    sharded_table.add_row({std::to_string(n), bench::fmt(r.mops),
+                           bench::fmt(r.upd_mops),
+                           std::to_string(r.snapshots),
+                           std::to_string(r.snap_retries)});
+  }
+  sharded_table.print();
+  std::printf("expected shape: upd_mops rises monotonically with shards on "
+              "a multi-core host\n(one flattener per shard; shards=1 is the "
+              "single-flattener write ceiling).\n");
 
   if (obs::enabled()) {
     bench::print_header("metrics (obs registry)");

@@ -15,6 +15,8 @@
 #   table3/p<N>/<column>_s              inverted-index phase times, seconds
 #                                       (Tu+Tq -> TuplusTq, Tu+q -> Tuplusq)
 #   batching/mb<N>/<column>             batch-bound sweep row, per max_batch
+#   fig7/shardscale/s<N>/<column>       sharded YCSB A scale-out row, per
+#   batching/shardscale/s<N>/<column>   shard count (the "shards" tables)
 #   footprint/<column>/peak|mean|final  footprint-curve summary per sampler
 #                                       column (MVCC_SAMPLE_MS CSV)
 #   <bench>/<metric>[/<stat>]           obs registry dumps, already
@@ -53,12 +55,20 @@ parse_fig7() {
       for (i = 3; i <= NF; i++) lcol[i] = $i
       mode = "lat"; next
     }
+    $1 == "shards" {
+      for (i = 2; i <= NF; i++) scol[i] = $i
+      mode = "shard"; next
+    }
     mode == "tput" && ($1 == "A" || $1 == "B" || $1 == "C") {
       for (i = 2; i <= NF; i++) printf "fig7/%s/%s_mops=%s\n", $1, col[i], $i
     }
     mode == "lat" && ($2 == "A" || $2 == "B" || $2 == "C") {
       for (i = 3; i <= NF; i++)
         printf "fig7lat/%s/%s/%s=%s\n", $1, $2, lcol[i], $i
+    }
+    mode == "shard" && $1 ~ /^[0-9]+$/ {
+      for (i = 2; i <= NF; i++)
+        printf "fig7/shardscale/s%s/%s=%s\n", $1, scol[i], $i
     }
   ' "$1"
   metric_lines "$1"
@@ -80,10 +90,21 @@ parse_table3() {
 
 parse_batching() {
   awk '
-    /^====/ { have = 0 }
-    $1 == "max_batch" { for (i = 2; i <= NF; i++) col[i] = $i; have = 1; next }
-    have && $1 ~ /^[0-9]+$/ {
+    /^====/ { mode = "" }
+    $1 == "max_batch" {
+      for (i = 2; i <= NF; i++) col[i] = $i
+      mode = "mb"; next
+    }
+    $1 == "shards" {
+      for (i = 2; i <= NF; i++) scol[i] = $i
+      mode = "shard"; next
+    }
+    mode == "mb" && $1 ~ /^[0-9]+$/ {
       for (i = 2; i <= NF; i++) printf "batching/mb%s/%s=%s\n", $1, col[i], $i
+    }
+    mode == "shard" && $1 ~ /^[0-9]+$/ {
+      for (i = 2; i <= NF; i++)
+        printf "batching/shardscale/s%s/%s=%s\n", $1, scol[i], $i
     }
   ' "$1"
   metric_lines "$1"

@@ -33,6 +33,15 @@
 //                 (see alloc/pool.h)                      (default "slab")
 //   MVCC_SLAB_BYTES  bytes per slab the alloc/ pool carves blocks from,
 //                 clamped to [4096, 16MiB]                 (default 65536)
+//   MVCC_SHARDS   shard count for the sharded multi-writer front-end
+//                 (txn/sharded.h): the key space is hash-partitioned
+//                 across this many independent BatchingMap shards, each
+//                 with its own flattener and version manager. Clamped to
+//                 [1, 256]; latched at the first ShardedMap construction
+//                 (like MVCC_ALLOC's route latch) so a reload_config()
+//                 mid-process cannot leave two maps disagreeing about the
+//                 shard topology the sharded/* metrics are keyed by
+//                                                              (default 1)
 #pragma once
 
 #include <atomic>
@@ -118,6 +127,14 @@ inline std::size_t parse_slab_bytes() {
   return static_cast<std::size_t>(v < lo ? lo : (v > hi ? hi : v));
 }
 
+// MVCC_SHARDS clamped to [1, 256]: a shard is a whole flattener thread plus
+// a version manager, so counts beyond a few hundred are a misconfiguration,
+// not a scale-up.
+inline int parse_shards() {
+  const long v = env_long("MVCC_SHARDS", 1);
+  return static_cast<int>(v < 1 ? 1 : (v > 256 ? 256 : v));
+}
+
 }  // namespace detail
 
 // --- Consolidated runtime configuration ------------------------------------
@@ -136,6 +153,7 @@ struct Config {
   long grain = 2048;               // MVCC_GRAIN (clamped to kGrainFloor)
   bool alloc_pooled = true;        // MVCC_ALLOC ("slab" | "malloc")
   std::size_t slab_bytes = 65536;  // MVCC_SLAB_BYTES
+  int shards = 1;                  // MVCC_SHARDS (clamped to [1, 256])
 
   // Scales a base structure size by `scale`; never returns less than 1 for
   // a positive base, so the result is always a usable element count.
@@ -151,6 +169,7 @@ struct Config {
     c.grain = detail::parse_grain();
     c.alloc_pooled = detail::parse_alloc_pooled();
     c.slab_bytes = detail::parse_slab_bytes();
+    c.shards = detail::parse_shards();
     return c;
   }
 };

@@ -244,6 +244,32 @@ class BatchingMap {
     return ReadTxn(std::move(snap));
   }
 
+  // Commit ticket for everything producer p has submitted so far: the
+  // ops are committed once p's committed cursor reaches it. Together with
+  // wait_committed this is the seam a multi-shard caller (txn/sharded.h)
+  // uses to submit to several shards first and only then park on each
+  // shard's ticket — the per-shard waits overlap instead of serializing.
+  std::uint64_t submitted_ticket(int p) const {
+    assert(p >= 0 && p < producers_);
+    return rings_[static_cast<std::size_t>(p)]->pushed.load(
+        std::memory_order_relaxed);
+  }
+
+  // Parks until producer p's ops up to `ticket` are committed, with the
+  // parked ticket visible to the flattener's stall detection (a partial
+  // batch commits as soon as the rings run dry with this waiter drained).
+  // Same serialization contract as submit: one thread per producer index.
+  void wait_committed(int p, std::uint64_t ticket) {
+    assert(p >= 0 && p < producers_);
+    Ring& r = *rings_[static_cast<std::size_t>(p)];
+    if (r.committed.load(std::memory_order_acquire) >= ticket) return;
+    r.sync_waiting.store(ticket, std::memory_order_release);
+    while (r.committed.load(std::memory_order_acquire) < ticket) {
+      std::this_thread::yield();
+    }
+    r.sync_waiting.store(0, std::memory_order_release);
+  }
+
   // Drains: waits until every op submitted before this call is committed.
   // While any flush is waiting the flattener commits eagerly instead of
   // filling batches, so the wait is bounded by the backlog, not the bound.
@@ -310,13 +336,7 @@ class BatchingMap {
 
   void upsert_sync_impl(int p, const K& k, const V& v) {
     submit(p, BatchOp::kUpsert, k, v);
-    Ring& r = *rings_[static_cast<std::size_t>(p)];
-    const std::uint64_t ticket = r.pushed.load(std::memory_order_relaxed);
-    r.sync_waiting.store(ticket, std::memory_order_release);
-    while (r.committed.load(std::memory_order_acquire) < ticket) {
-      std::this_thread::yield();
-    }
-    r.sync_waiting.store(0, std::memory_order_release);
+    wait_committed(p, submitted_ticket(p));
   }
 
   void flatten_loop() {

@@ -112,6 +112,73 @@ class YcsbStream {
   Xoshiro256 rng_;
 };
 
+// Partitioned op streams — the ScaleStore YCSB_partitioned harness shape.
+// The key space [0, keys) is cut into `producers` contiguous equal
+// partitions and each producer's stream is PRE-MATERIALIZED over its own
+// partition: Zipfian within the partition (every producer sees the same
+// local skew) with the rank scrambled inside the partition, so hot keys
+// spread across it but never leave it. Cross-producer key conflicts are
+// zero by construction and the measured loop pays no generation cost —
+// the two properties a multi-writer scale-out bench needs so the driver
+// itself cannot become the bottleneck being measured.
+//
+// Partitions are psize = keys / producers wide; a remainder tail of fewer
+// than `producers` keys is loaded but never drawn, keeping one shared
+// ZipfGenerator (its normalizers depend on the partition size) exact for
+// every producer.
+class PartitionedYcsb {
+ public:
+  PartitionedYcsb(const YcsbSpec& spec, std::uint64_t keys, int producers,
+                  double theta = 0.99)
+      : spec_(spec),
+        keys_(keys),
+        producers_(producers),
+        psize_(keys / static_cast<std::uint64_t>(producers) > 0
+                   ? keys / static_cast<std::uint64_t>(producers)
+                   : 1),
+        zipf_(psize_, theta) {
+    assert(producers >= 1);
+    assert(keys >= static_cast<std::uint64_t>(producers));
+  }
+
+  std::uint64_t partition_begin(int p) const {
+    return static_cast<std::uint64_t>(p) * psize_;
+  }
+  std::uint64_t partition_end(int p) const {
+    return partition_begin(p) + psize_;
+  }
+  std::uint64_t partition_size() const { return psize_; }
+
+  // Producer p's pre-generated stream of n ops, deterministic per
+  // (p, seed): Zipfian rank drawn and scrambled within p's partition, plus
+  // the spec's read/update coin.
+  std::vector<YcsbOp> stream(int p, std::size_t n,
+                             std::uint64_t seed = 0x51cbULL) const {
+    assert(p >= 0 && p < producers_);
+    std::vector<YcsbOp> out;
+    out.reserve(n);
+    Xoshiro256 rng(seed + static_cast<std::uint64_t>(p) * 0x9e3779b9ULL);
+    const std::uint64_t begin = partition_begin(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t rank = zipf_.sample(rng);
+      const std::uint64_t key =
+          begin + splitmix64_mix(rank + 0x9e3779b97f4a7c15ULL) % psize_;
+      const YcsbOp::Type type = rng.next_double() < spec_.read_fraction
+                                    ? YcsbOp::kRead
+                                    : YcsbOp::kUpdate;
+      out.push_back({type, key});
+    }
+    return out;
+  }
+
+ private:
+  YcsbSpec spec_;
+  std::uint64_t keys_;
+  int producers_;
+  std::uint64_t psize_;
+  ZipfGenerator zipf_;
+};
+
 // The load phase: every key in [0, keys) with a deterministic random value,
 // ready for FMap::from_entries or a loop of upserts into a baseline.
 inline std::vector<std::pair<std::uint64_t, std::uint64_t>> ycsb_dataset(
